@@ -1,0 +1,109 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel microbenchmarks on the real runtime — the contention-free
+      per-operation latencies behind the paper's Table 1 and §4.2.1 (one
+      Test.make per measured row).
+   2. The experiment catalogue (lib/harness): every table and figure of
+      the paper's evaluation plus the DESIGN.md ablations, printed as
+      paper-style tables with the paper's expectation alongside.
+
+   MM_BENCH_FULL=1 selects the full parameter sets (slower);
+   MM_BENCH_SEED overrides the simulation seed. *)
+
+open Bechamel
+open Toolkit
+module Cfg = Mm_mem.Alloc_config
+module I = Mm_mem.Alloc_intf
+
+let real_cfg = Cfg.make ~nheaps:16 ()
+
+let pair_test name =
+  let inst = Mm_harness.Allocators.make name Mm_runtime.Rt.real real_cfg in
+  Test.make
+    ~name:(Printf.sprintf "malloc+free/%s" name)
+    (Staged.stage (fun () -> I.instance_free inst (I.instance_malloc inst 8)))
+
+let lock_test (label, kind) =
+  let lock = Mm_baselines.Locks.create Mm_runtime.Rt.real kind in
+  Test.make
+    ~name:(Printf.sprintf "lock-pair/%s" label)
+    (Staged.stage (fun () ->
+         Mm_baselines.Locks.acquire lock;
+         Mm_baselines.Locks.release lock))
+
+let larson_test name =
+  (* One Larson replacement step: free a random slot, allocate into it. *)
+  let inst = Mm_harness.Allocators.make name Mm_runtime.Rt.real real_cfg in
+  let rng = Mm_runtime.Prng.create 99 in
+  let slots =
+    Array.init 1024 (fun _ ->
+        I.instance_malloc inst (Mm_runtime.Prng.int_in rng 16 80))
+  in
+  Test.make
+    ~name:(Printf.sprintf "larson-step/%s" name)
+    (Staged.stage (fun () ->
+         let s = Mm_runtime.Prng.int rng 1024 in
+         I.instance_free inst slots.(s);
+         slots.(s) <- I.instance_malloc inst (Mm_runtime.Prng.int_in rng 16 80)))
+
+let run_bechamel () =
+  let tests =
+    Test.make_grouped ~name:"latency"
+      (List.map pair_test Mm_harness.Allocators.names
+      @ List.map larson_test [ "new"; "libc" ]
+      @ List.map lock_test
+          [
+            ("tas-backoff", Cfg.Tas_backoff);
+            ("ticket", Cfg.Ticket);
+            ("pthread-like", Cfg.Pthread_like);
+          ])
+  in
+  (* stabilize:false — GC stabilization between samples perturbs these
+     sub-microsecond measurements far more than the GC itself does. *)
+  let cfg_b =
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second 0.5) ~stabilize:false
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg_b [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Printf.sprintf "%.1f ns" e
+          | _ -> "n/a"
+        in
+        [ name; est ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline
+    "== Bechamel: contention-free latency (real runtime, 1 thread) ==";
+  List.iter print_endline
+    (Mm_harness.Render.table ~header:[ "benchmark"; "ns/op" ] ~rows);
+  print_newline ()
+
+let () =
+  let full = Sys.getenv_opt "MM_BENCH_FULL" = Some "1" in
+  let seed =
+    match Sys.getenv_opt "MM_BENCH_SEED" with
+    | Some s -> (try int_of_string s with _ -> 1)
+    | None -> 1
+  in
+  let mode =
+    if full then Mm_harness.Experiments.Full else Mm_harness.Experiments.Quick
+  in
+  Printf.printf "mmalloc bench harness (%s mode, seed %d)\n\n%!"
+    (if full then "full" else "quick")
+    seed;
+  run_bechamel ();
+  List.iter
+    (fun (id, _) ->
+      let o = Mm_harness.Experiments.run id ~mode ~seed in
+      Format.printf "%a%!" Mm_harness.Experiments.print_outcome o)
+    Mm_harness.Experiments.catalogue

@@ -1,0 +1,1 @@
+examples/false_sharing.ml: List Mm_harness Mm_mem Mm_runtime Mm_workloads Printf Rt Sim

@@ -1,0 +1,1 @@
+examples/kill_tolerance.ml: Array List Mm_baselines Mm_core Mm_harness Mm_mem Mm_runtime Printf Rt Sim

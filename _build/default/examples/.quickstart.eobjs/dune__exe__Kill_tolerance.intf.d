@@ -1,0 +1,1 @@
+examples/kill_tolerance.mli:

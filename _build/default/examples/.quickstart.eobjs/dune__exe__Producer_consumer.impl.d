@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: List Mm_harness Mm_mem Mm_runtime Mm_workloads Printf Rt Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Mm_core Mm_mem Mm_runtime Printf Prng Rt

@@ -1,0 +1,1 @@
+lib/baselines/hoard_alloc.ml: Array List Locks Mm_mem Mm_runtime Rt Sb_heap

@@ -1,0 +1,1 @@
+lib/baselines/hoard_alloc.mli: Mm_mem

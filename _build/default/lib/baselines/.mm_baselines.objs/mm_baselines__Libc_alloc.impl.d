@@ -1,0 +1,1 @@
+lib/baselines/libc_alloc.ml: Locks Mm_mem Sb_heap

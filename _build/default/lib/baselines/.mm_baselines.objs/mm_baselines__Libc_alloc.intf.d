@@ -1,0 +1,1 @@
+lib/baselines/libc_alloc.mli: Mm_mem

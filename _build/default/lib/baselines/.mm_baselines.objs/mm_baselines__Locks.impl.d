@@ -1,0 +1,1 @@
+lib/baselines/locks.ml: Array Mm_lockfree Mm_mem Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/baselines/locks.mli: Mm_mem Mm_runtime

@@ -1,0 +1,1 @@
+lib/baselines/ptmalloc_alloc.ml: Array Locks Mm_mem Mm_runtime Rt Sb_heap

@@ -1,0 +1,1 @@
+lib/baselines/ptmalloc_alloc.mli: Mm_mem

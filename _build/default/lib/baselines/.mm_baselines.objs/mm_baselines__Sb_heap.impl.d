@@ -1,0 +1,1 @@
+lib/baselines/sb_heap.ml: Array Format List Locks Mm_lockfree Mm_mem Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/baselines/sb_heap.mli: Locks Mm_mem Mm_runtime

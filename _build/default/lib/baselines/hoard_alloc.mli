@@ -1,0 +1,6 @@
+(** Hoard-style baseline: lock-based per-processor heaps plus a global
+    heap; malloc takes one lock in the common case, free two; empty
+    superblocks migrate to the global heap, bounding space blowup
+    (Berger et al., ASPLOS 2000; paper §2.2). *)
+
+include Mm_mem.Alloc_intf.ALLOCATOR

@@ -1,0 +1,6 @@
+(** Libc-style baseline: one serial heap behind a single pthread-style
+    mutex, with heavyweight per-operation bookkeeping — the paper's
+    "default AIX 5.1 libc malloc" stand-in and the denominator of every
+    reported speedup. See the implementation header for details. *)
+
+include Mm_mem.Alloc_intf.ALLOCATOR

@@ -1,0 +1,9 @@
+(** Ptmalloc-style baseline: serial heaps ("arenas") each behind one lock;
+    malloc trylocks its last arena, sweeps the others, and creates new
+    arenas when all are busy; free locks the owning arena (paper §2.2). *)
+
+include Mm_mem.Alloc_intf.ALLOCATOR
+
+val arena_count : t -> int
+(** Arenas currently in the list — the paper observes this exceeding the
+    thread count under Larson (22 arenas for 16 threads). *)

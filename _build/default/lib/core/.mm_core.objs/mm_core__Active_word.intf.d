@@ -1,0 +1,1 @@
+lib/core/active_word.mli:

@@ -1,0 +1,1 @@
+lib/core/desc_pool.ml: Descriptor Labels List Mm_lockfree Mm_mem Mm_runtime Rt

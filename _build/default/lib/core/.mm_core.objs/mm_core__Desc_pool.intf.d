@@ -1,0 +1,1 @@
+lib/core/desc_pool.mli: Descriptor Mm_mem Mm_runtime

@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Anchor Array List Mm_lockfree Mm_mem Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/core/lf_alloc.ml: Active_word Anchor Array Desc_pool Descriptor Format Hashtbl Labels List Mm_lockfree Mm_mem Mm_runtime Option Partial_list Printf Rt String

@@ -1,0 +1,1 @@
+lib/core/lf_alloc.mli: Desc_pool Descriptor Format Mm_mem Partial_list

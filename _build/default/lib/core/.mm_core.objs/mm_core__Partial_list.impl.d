@@ -1,0 +1,1 @@
+lib/core/partial_list.ml: Anchor Descriptor List Mm_lockfree Mm_mem Mm_runtime Rt

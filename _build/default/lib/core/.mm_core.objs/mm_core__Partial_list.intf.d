@@ -1,0 +1,1 @@
+lib/core/partial_list.mli: Descriptor Mm_mem Mm_runtime

@@ -1,0 +1,33 @@
+(** The processor heap's [Active] word (paper Fig. 3).
+
+    A pointer to the descriptor of the heap's active superblock with a
+    [credits] subfield carved out of its alignment bits:
+
+    {v
+    bits 0..5   credits  blocks reservable through this word, minus one
+    bits 6..62  desc_id  descriptor id (0 = NULL)
+    v}
+
+    If the word is non-null with [credits = n], the active superblock is
+    guaranteed to hold [n+1] blocks available for reservation (§3.2.1).
+    A malloc in the common case reserves a block by CASing [w] to [w-1] —
+    decrementing [credits] — which is why credits occupy the low bits. *)
+
+val null : int
+(** The NULL Active word (0). *)
+
+val is_null : int -> bool
+
+val max_credits : int
+(** 63: the most that fits in the credits subfield; the paper's
+    [MAXCREDITS-1] bound. *)
+
+val make : desc_id:int -> credits:int -> int
+(** [credits] must be in [\[0, max_credits\]]; [desc_id] ≥ 1. *)
+
+val desc_id : int -> int
+val credits : int -> int
+
+val dec_credits : int -> int
+(** The reservation step: same word with one less credit (requires
+    [credits > 0]); callers CAS the old word to this. *)

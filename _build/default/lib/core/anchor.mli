@@ -1,0 +1,37 @@
+(** The superblock descriptor's [Anchor] word (paper Fig. 3).
+
+    All four subfields are packed into one OCaml immediate so that they
+    can be read and CASed together atomically — the analogue of the
+    paper's 64-bit anchor:
+
+    {v
+    bits 0..11   avail  index of the first available block (12 bits)
+    bits 12..23  count  number of unreserved available blocks (12 bits)
+    bits 24..25  state  ACTIVE | FULL | PARTIAL | EMPTY
+    bits 26..62  tag    ABA tag, incremented on every pop (37 bits)
+    v}
+
+    The paper uses 10/10/2/42; we widen [avail]/[count] to 12 bits (up to
+    4096 blocks per superblock) and keep 37 tag bits, which wrap only
+    after ~10^11 pops of one descriptor. Values of this type are plain
+    [int]s so they flow through [Rt.Atomic] unboxed. *)
+
+type state = Active | Full | Partial | Empty
+
+val max_count : int
+(** 4095: largest representable [avail]/[count]. *)
+
+val make : avail:int -> count:int -> state:state -> tag:int -> int
+val avail : int -> int
+val count : int -> int
+val state : int -> state
+val tag : int -> int
+
+val set_avail : int -> int -> int
+val set_count : int -> int -> int
+val set_state : int -> state -> int
+val incr_tag : int -> int
+(** Wraps silently at 2^37. *)
+
+val state_to_string : state -> string
+val pp : Format.formatter -> int -> unit

@@ -1,0 +1,148 @@
+open Mm_runtime
+module Hp = Mm_lockfree.Hazard_pointers
+module Tis = Mm_lockfree.Tagged_id_stack
+module Backoff = Mm_lockfree.Backoff
+
+type hazard_pool = {
+  head : Descriptor.t option Rt.atomic;
+  hp : Descriptor.t Hp.t;
+}
+
+type variant = Hazard_v of hazard_pool | Tagged_v of Tis.t
+
+type t = {
+  rt : Rt.t;
+  table : Descriptor.table;
+  batch_size : int;
+  variant : variant;
+}
+
+(* Raw Treiber push over the descriptors' own next_d links. Safe without
+   tags: only pops can complete erroneously under ABA (paper [8]). *)
+let rec raw_push rt head d =
+  let old = Rt.Atomic.get head in
+  d.Descriptor.next_d <- old;
+  Rt.fence rt;
+  if not (Rt.Atomic.compare_and_set head old (Some d)) then raw_push rt head d
+
+let create rt table ~kind ?(batch_size = 64) () =
+  if batch_size < 1 then invalid_arg "Desc_pool.create: batch_size";
+  let variant =
+    match kind with
+    | Mm_mem.Alloc_config.Hazard ->
+        let head = Rt.Atomic.make rt None in
+        let hp = Hp.create rt ~reuse:(fun d -> raw_push rt head d) in
+        Hazard_v { head; hp }
+    | Mm_mem.Alloc_config.Tagged ->
+        Tagged_v
+          (Tis.create rt
+             ~get_next:(fun id -> (Descriptor.get table id).Descriptor.next_id)
+             ~set_next:(fun id n ->
+               (Descriptor.get table id).Descriptor.next_id <- n))
+  in
+  { rt; table; batch_size; variant }
+
+(* Hazard-pointer-protected pop (the paper's SafeCAS): protect the
+   candidate, re-validate the head, then CAS. A descriptor can only
+   reappear at the head after passing a hazard scan, which our published
+   pointer prevents. *)
+let hazard_pop t p =
+  let b = Backoff.create t.rt in
+  let rec go () =
+    match Rt.Atomic.get p.head with
+    | None -> None
+    | Some d as old ->
+        Hp.protect p.hp ~slot:0 d;
+        if Rt.Atomic.get p.head != old then begin
+          Hp.clear p.hp ~slot:0;
+          go ()
+        end
+        else begin
+          let next = d.Descriptor.next_d in
+          Rt.label t.rt Labels.desc_alloc;
+          if Rt.Atomic.compare_and_set p.head old next then begin
+            Hp.clear p.hp ~slot:0;
+            Some d
+          end
+          else begin
+            Hp.clear p.hp ~slot:0;
+            Backoff.once b;
+            go ()
+          end
+        end
+  in
+  go ()
+
+(* Stock the freelist with a fresh batch, keeping one descriptor. Mirrors
+   Fig. 7 lines 5-9: if some other thread stocked the list first, discard
+   the whole batch ("free the superblock") and go back to popping. *)
+let hazard_refill t p =
+  match Descriptor.alloc_batch t.table t.batch_size with
+  | [] -> assert false
+  | kept :: rest -> (
+      let chain =
+        List.fold_right
+          (fun d acc ->
+            d.Descriptor.next_d <- acc;
+            Some d)
+          rest None
+      in
+      Rt.fence t.rt;
+      match chain with
+      | None ->
+          if Rt.Atomic.get p.head = None then Some kept
+          else begin
+            Descriptor.discard t.table kept;
+            None
+          end
+      | Some _ ->
+          if Rt.Atomic.compare_and_set p.head None chain then Some kept
+          else begin
+            Descriptor.discard t.table kept;
+            List.iter (Descriptor.discard t.table) rest;
+            None
+          end)
+
+let tagged_refill t stack =
+  match Descriptor.alloc_batch t.table t.batch_size with
+  | [] -> assert false
+  | kept :: rest ->
+      List.iter (fun d -> Tis.push stack d.Descriptor.id) rest;
+      Some kept
+
+let alloc t =
+  let rec go () =
+    let popped =
+      match t.variant with
+      | Hazard_v p -> (
+          match hazard_pop t p with
+          | Some d -> Some d
+          | None -> hazard_refill t p)
+      | Tagged_v stack -> (
+          Rt.label t.rt Labels.desc_alloc;
+          match Tis.pop stack with
+          | Some id -> Some (Descriptor.get t.table id)
+          | None -> tagged_refill t stack)
+    in
+    match popped with Some d -> d | None -> go ()
+  in
+  go ()
+
+let retire t d =
+  Rt.label t.rt Labels.desc_retire;
+  match t.variant with
+  | Hazard_v p -> Hp.retire p.hp d
+  | Tagged_v stack -> Tis.push stack d.Descriptor.id
+
+let flush t =
+  match t.variant with Hazard_v p -> Hp.flush p.hp | Tagged_v _ -> ()
+
+let available t =
+  match t.variant with
+  | Hazard_v p ->
+      let rec len acc = function
+        | None -> acc
+        | Some d -> len (acc + 1) d.Descriptor.next_d
+      in
+      len 0 (Rt.Atomic.get p.head) + Hp.retired_count p.hp
+  | Tagged_v stack -> List.length (Tis.to_list stack)

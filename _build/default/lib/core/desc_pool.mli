@@ -1,0 +1,47 @@
+(** The lock-free descriptor freelist — [DescAlloc] / [DescRetire]
+    (paper Fig. 7 and §3.2.5).
+
+    Descriptors are recycled, so the freelist pop is exposed to the ABA
+    problem; the paper offers two cures and we implement both:
+
+    - {b Hazard} (paper default, [SafeCAS] via hazard pointers [17,19]):
+      a popping thread publishes a hazard pointer to the candidate head
+      and re-validates before CASing; retired descriptors re-enter the
+      freelist only after a scan proves no thread protects them.
+    - {b Tagged} (paper [18] alternative): the freelist head packs an IBM
+      ABA tag next to the descriptor id; pops bump the tag.
+
+    When the freelist is empty, a batch of [batch_size] descriptors is
+    created at once (the paper's "superblock of descriptors"); the thread
+    keeps one and offers the rest. If another thread stocked the list
+    concurrently, the paper returns the whole batch to the OS to avoid
+    over-allocating; we do the same by discarding the unused records and
+    recycling their ids. *)
+
+type t
+
+val create :
+  Mm_runtime.Rt.t ->
+  Descriptor.table ->
+  kind:Mm_mem.Alloc_config.desc_pool_kind ->
+  ?batch_size:int ->
+  unit ->
+  t
+(** Default [batch_size]: 64. *)
+
+val alloc : t -> Descriptor.t
+(** Pop a descriptor, allocating a fresh batch if none is available. The
+    returned descriptor's mutable fields are stale; the caller owns it
+    exclusively and must initialize them. *)
+
+val retire : t -> Descriptor.t -> unit
+(** Make a descriptor available for reuse (its superblock must already be
+    detached). *)
+
+val flush : t -> unit
+(** Quiescent teardown helper: force hazard-pointer scans so every retired
+    descriptor is back on the freelist (no-op for the tagged variant). *)
+
+val available : t -> int
+(** Quiescent snapshot of freelist length plus retired-pending
+    descriptors (tests). *)

@@ -1,0 +1,34 @@
+let ma_read_active = "ma.read_active"
+let ma_reserved = "ma.reserved"
+let ma_pop_cas = "ma.pop_cas"
+let ma_popped = "ma.popped"
+let ua_install = "ua.install"
+let ua_return_credits = "ua.return_credits"
+let mp_got_partial = "mp.got_partial"
+let mp_reserve_cas = "mp.reserve_cas"
+let mp_pop_cas = "mp.pop_cas"
+let mnsb_install = "mnsb.install"
+let free_cas = "free.cas"
+let free_empty = "free.empty"
+let free_put_partial = "free.put_partial"
+let desc_alloc = "desc.alloc"
+let desc_retire = "desc.retire"
+
+let all =
+  [
+    ma_read_active;
+    ma_reserved;
+    ma_pop_cas;
+    ma_popped;
+    ua_install;
+    ua_return_credits;
+    mp_got_partial;
+    mp_reserve_cas;
+    mp_pop_cas;
+    mnsb_install;
+    free_cas;
+    free_empty;
+    free_put_partial;
+    desc_alloc;
+    desc_retire;
+  ]

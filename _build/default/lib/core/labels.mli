@@ -1,0 +1,56 @@
+(** Named instrumentation points inside the lock-free allocator.
+
+    Each label marks a place where the paper's progress argument says a
+    thread may be {e arbitrarily delayed or killed} without blocking other
+    threads. The allocator calls [Rt.label] at each; under simulation the
+    fault-injection tests pause or kill a victim thread at every one of
+    them and assert system-wide progress (DESIGN.md §6). Zero cost on the
+    real runtime unless a hook is installed. *)
+
+val ma_read_active : string
+(** MallocFromActive: read Active, before the reservation CAS. *)
+
+val ma_reserved : string
+(** MallocFromActive: reservation CAS succeeded, before the pop. *)
+
+val ma_pop_cas : string
+(** MallocFromActive: before the anchor pop CAS. *)
+
+val ma_popped : string
+(** MallocFromActive: block popped, before UpdateActive / prefix write. *)
+
+val ua_install : string
+(** UpdateActive: before the CAS reinstalling the superblock. *)
+
+val ua_return_credits : string
+(** UpdateActive: install failed, before returning credits to the anchor. *)
+
+val mp_got_partial : string
+(** MallocFromPartial: obtained a partial descriptor. *)
+
+val mp_reserve_cas : string
+(** MallocFromPartial: before the block-reservation CAS. *)
+
+val mp_pop_cas : string
+(** MallocFromPartial: before the reserved-block pop CAS. *)
+
+val mnsb_install : string
+(** MallocFromNewSB: before the CAS installing the new superblock. *)
+
+val free_cas : string
+(** free: before the anchor push CAS. *)
+
+val free_empty : string
+(** free: superblock became EMPTY, before returning it to the OS. *)
+
+val free_put_partial : string
+(** HeapPutPartial: before the Partial-slot swap CAS. *)
+
+val desc_alloc : string
+(** DescAlloc: before the freelist pop CAS. *)
+
+val desc_retire : string
+(** DescRetire: before making the descriptor available again. *)
+
+val all : string list
+(** Every label above; fault-injection tests iterate this list. *)

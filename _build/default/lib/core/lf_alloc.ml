@@ -1,0 +1,674 @@
+open Mm_runtime
+module Cfg = Mm_mem.Alloc_config
+module Store = Mm_mem.Store
+module Addr = Mm_mem.Addr
+module Sc = Mm_mem.Size_class
+module Prefix = Mm_mem.Block_prefix
+module Backoff = Mm_lockfree.Backoff
+
+(* Line numbers in comments refer to the paper's Figures 4 (malloc) and
+   6 (free). *)
+
+type heap = {
+  gid : int;  (* sc * nheaps + h *)
+  sc : int;
+  active : int Rt.atomic;  (* packed Active_word, 0 = NULL *)
+  partial : int Rt.atomic;  (* descriptor id, 0 = none *)
+}
+
+type t = {
+  rt : Rt.t;
+  cfg : Cfg.t;
+  store : Store.t;
+  classes : Sc.t;
+  nheaps_ : int;
+  heaps : heap array array;  (* [size class].[processor heap] *)
+  lists : Partial_list.t array;  (* per size class *)
+  table : Descriptor.table;
+  pool : Desc_pool.t;
+  mallocs : int array;  (* striped per-thread op counters *)
+  frees : int array;
+  (* CAS-retry counters per contention site (striped per thread):
+     quantifies where interference lands, cf. the paper's §4.2.3
+     discussion of overlapping read-modify-write segments. *)
+  retry_reserve : int array;
+  retry_pop : int array;
+  retry_free : int array;
+  retry_update_active : int array;
+  retry_partial_slot : int array;
+}
+
+let retry_sites =
+  [ "active.reserve"; "anchor.pop"; "anchor.free"; "update_active";
+    "partial.slot" ]
+
+let name = "new"
+
+let create rt (cfg : Cfg.t) =
+  let classes = Sc.make ~sbsize:cfg.sbsize () in
+  let nheaps = Cfg.effective_nheaps cfg rt in
+  let store =
+    Store.create rt ~capacity:cfg.store_capacity ~sbsize:cfg.sbsize
+      ~hyperblocks:cfg.hyperblocks ()
+  in
+  let table = Descriptor.create_table rt ~capacity:(2 * cfg.store_capacity) in
+  let pool = Desc_pool.create rt table ~kind:cfg.desc_pool () in
+  let nclasses = Sc.count classes in
+  let heaps =
+    Array.init nclasses (fun sc ->
+        Array.init nheaps (fun h ->
+            {
+              gid = (sc * nheaps) + h;
+              sc;
+              active = Rt.Atomic.make rt Active_word.null;
+              partial = Rt.Atomic.make rt 0;
+            }))
+  in
+  let lists =
+    Array.init nclasses (fun _ -> Partial_list.create rt cfg.partial_policy)
+  in
+  {
+    rt;
+    cfg;
+    store;
+    classes;
+    nheaps_ = nheaps;
+    heaps;
+    lists;
+    table;
+    pool;
+    mallocs = Array.make Rt.max_threads 0;
+    frees = Array.make Rt.max_threads 0;
+    retry_reserve = Array.make Rt.max_threads 0;
+    retry_pop = Array.make Rt.max_threads 0;
+    retry_free = Array.make Rt.max_threads 0;
+    retry_update_active = Array.make Rt.max_threads 0;
+    retry_partial_slot = Array.make Rt.max_threads 0;
+  }
+
+let bump t arr = arr.(Rt.self t.rt) <- arr.(Rt.self t.rt) + 1
+
+let retry_counts t =
+  let sum a = Array.fold_left ( + ) 0 a in
+  [
+    ("active.reserve", sum t.retry_reserve);
+    ("anchor.pop", sum t.retry_pop);
+    ("anchor.free", sum t.retry_free);
+    ("update_active", sum t.retry_update_active);
+    ("partial.slot", sum t.retry_partial_slot);
+  ]
+
+let rt t = t.rt
+let store t = t.store
+let size_classes t = t.classes
+let nheaps t = t.nheaps_
+let descriptor_table t = t.table
+let desc_pool t = t.pool
+
+let heap_of_gid t gid = t.heaps.(gid / t.nheaps_).(gid mod t.nheaps_)
+let my_heap t sc = t.heaps.(sc).(Rt.self t.rt mod t.nheaps_)
+
+(* ------------------------------------------------------------------ *)
+(* HeapPutPartial / HeapGetPartial / RemoveEmptyDesc (Figs. 4 & 6). *)
+
+let heap_put_partial t desc =
+  let heap = heap_of_gid t desc.Descriptor.heap_gid in
+  let b = Backoff.create t.rt in
+  let rec swap () =
+    let prev = Rt.Atomic.get heap.partial in
+    Rt.label t.rt Labels.free_put_partial;
+    if Rt.Atomic.compare_and_set heap.partial prev desc.Descriptor.id then prev
+    else begin
+      bump t t.retry_partial_slot;
+      Backoff.once b;
+      swap ()
+    end
+  in
+  let prev = swap () in
+  if prev <> 0 then
+    Partial_list.put t.lists.(heap.sc) (Descriptor.get t.table prev)
+
+let heap_get_partial t heap =
+  let rec go () =
+    let id = Rt.Atomic.get heap.partial in
+    if id = 0 then Partial_list.get t.lists.(heap.sc)
+    else if Rt.Atomic.compare_and_set heap.partial id 0 then
+      Some (Descriptor.get t.table id)
+    else go ()
+  in
+  go ()
+
+let remove_empty_desc t heap desc =
+  if Rt.Atomic.compare_and_set heap.partial desc.Descriptor.id 0 then begin
+    (* Guard against the (astronomically narrow) slot ABA the paper's
+       pseudocode leaves open: between our EMPTY transition and this CAS,
+       the descriptor could have been retired by a ListRemoveEmptyDesc,
+       reused for a fresh superblock, gone PARTIAL again and landed back
+       in this very slot. Retiring it then would corrupt its new life, so
+       re-validate the state and reinsert if it is alive. *)
+    if
+      Anchor.state (Rt.Atomic.get desc.Descriptor.anchor) = Anchor.Empty
+    then Desc_pool.retire t.pool desc
+    else heap_put_partial t desc
+  end
+  else
+    Partial_list.remove_empty t.lists.(heap.sc)
+      ~retire:(fun d -> Desc_pool.retire t.pool d)
+
+(* ------------------------------------------------------------------ *)
+(* UpdateActive (Fig. 4). *)
+
+let update_active t heap desc morecredits =
+  let newactive =
+    Active_word.make ~desc_id:desc.Descriptor.id ~credits:(morecredits - 1)
+  in
+  Rt.label t.rt Labels.ua_install;
+  (* line 3 *)
+  if Rt.Atomic.compare_and_set heap.active Active_word.null newactive then ()
+  else begin
+    (* Someone installed another active superblock: return the credits to
+       the anchor and make the superblock PARTIAL (lines 4-8). *)
+    let b = Backoff.create t.rt in
+    let rec return_credits () =
+      let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+      let newanchor =
+        Anchor.set_state
+          (Anchor.set_count oldanchor (Anchor.count oldanchor + morecredits))
+          Anchor.Partial
+      in
+      if
+        not
+          (Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor
+             newanchor)
+      then begin
+        bump t t.retry_update_active;
+        Backoff.once b;
+        return_credits ()
+      end
+    in
+    return_credits ();
+    Rt.label t.rt Labels.ua_return_credits;
+    heap_put_partial t desc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The in-superblock pop shared by MallocFromActive (lines 7-18) and
+   MallocFromPartial (lines 11-15). [on_anchor] lets the active variant
+   fold its credit/state bookkeeping into the same CAS. *)
+
+let clamp_index next = next land Anchor.max_count
+
+let pop_block t (desc : Descriptor.t) ~label ~on_anchor =
+  let b = Backoff.create t.rt in
+  let rec go () =
+    let oldanchor = Rt.Atomic.get desc.anchor in
+    let addr = desc.sb + (Anchor.avail oldanchor * desc.sz) in
+    (* line 10: may read garbage when racing; the tag CAS rejects it.
+       [clamp_index] only keeps the value representable. *)
+    let next = Store.read_word t.store addr in
+    let newanchor =
+      Anchor.incr_tag (Anchor.set_avail oldanchor (clamp_index next))
+    in
+    let newanchor, extra = on_anchor ~oldanchor ~newanchor in
+    Rt.label t.rt label;
+    if Rt.Atomic.compare_and_set desc.anchor oldanchor newanchor then
+      (addr, oldanchor, extra)
+    else begin
+      bump t t.retry_pop;
+      Backoff.once b;
+      go ()
+    end
+  in
+  go ()
+
+let finish_block t (desc : Descriptor.t) addr =
+  (* line 21: store the descriptor in the block prefix. *)
+  Store.write_word t.store addr (Prefix.small ~desc_id:desc.id);
+  addr + Prefix.prefix_bytes
+
+(* ------------------------------------------------------------------ *)
+(* MallocFromActive (Fig. 4). *)
+
+let malloc_from_active t heap =
+  let b = Backoff.create t.rt in
+  (* First step: reserve a block (lines 1-6). *)
+  let rec reserve () =
+    let oldactive = Rt.Atomic.get heap.active in
+    if Active_word.is_null oldactive then None
+    else begin
+      let newactive =
+        if Active_word.credits oldactive = 0 then Active_word.null
+        else Active_word.dec_credits oldactive
+      in
+      Rt.label t.rt Labels.ma_read_active;
+      if Rt.Atomic.compare_and_set heap.active oldactive newactive then
+        Some oldactive
+      else begin
+        bump t t.retry_reserve;
+        Backoff.once b;
+        reserve ()
+      end
+    end
+  in
+  match reserve () with
+  | None -> None
+  | Some oldactive ->
+      Rt.label t.rt Labels.ma_reserved;
+      let desc = Descriptor.get t.table (Active_word.desc_id oldactive) in
+      let took_last = Active_word.credits oldactive = 0 in
+      (* Second step: pop the reserved block (lines 7-18). *)
+      let on_anchor ~oldanchor ~newanchor =
+        if took_last then
+          if Anchor.count oldanchor = 0 then
+            (* line 15: out of blocks entirely. *)
+            (Anchor.set_state newanchor Anchor.Full, 0)
+          else begin
+            (* lines 16-17: grab more credits for UpdateActive. *)
+            let morecredits =
+              min (Anchor.count oldanchor) t.cfg.maxcredits
+            in
+            ( Anchor.set_count newanchor
+                (Anchor.count oldanchor - morecredits),
+              morecredits )
+          end
+        else (newanchor, 0)
+      in
+      let addr, oldanchor, morecredits =
+        pop_block t desc ~label:Labels.ma_pop_cas ~on_anchor
+      in
+      Rt.label t.rt Labels.ma_popped;
+      (* lines 19-20 *)
+      if took_last && Anchor.count oldanchor > 0 then
+        update_active t heap desc morecredits;
+      Some (finish_block t desc addr)
+
+(* ------------------------------------------------------------------ *)
+(* MallocFromPartial (Fig. 4). *)
+
+let rec malloc_from_partial t heap =
+  match heap_get_partial t heap with
+  | None -> None
+  | Some desc -> (
+      Rt.label t.rt Labels.mp_got_partial;
+      desc.Descriptor.heap_gid <- heap.gid;
+      (* line 3 *)
+      (* Reserve blocks (lines 4-10). *)
+      let b = Backoff.create t.rt in
+      let rec reserve () =
+        let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+        if Anchor.state oldanchor = Anchor.Empty then None
+        else begin
+          (* state must be PARTIAL and count > 0 here. *)
+          let count = Anchor.count oldanchor in
+          let morecredits = min (count - 1) t.cfg.maxcredits in
+          let newanchor =
+            Anchor.set_state
+              (Anchor.set_count oldanchor (count - morecredits - 1))
+              (if morecredits > 0 then Anchor.Active else Anchor.Full)
+          in
+          Rt.label t.rt Labels.mp_reserve_cas;
+          if
+            Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor
+              newanchor
+          then Some morecredits
+          else begin
+            bump t t.retry_reserve;
+            Backoff.once b;
+            reserve ()
+          end
+        end
+      in
+      match reserve () with
+      | None ->
+          (* lines 5-6: became EMPTY under us — retire and retry. *)
+          Desc_pool.retire t.pool desc;
+          malloc_from_partial t heap
+      | Some morecredits ->
+          (* Pop the reserved block (lines 11-15). *)
+          let addr, _, () =
+            pop_block t desc ~label:Labels.mp_pop_cas
+              ~on_anchor:(fun ~oldanchor:_ ~newanchor -> (newanchor, ()))
+          in
+          (* lines 16-17 *)
+          if morecredits > 0 then update_active t heap desc morecredits;
+          Some (finish_block t desc addr))
+
+(* ------------------------------------------------------------------ *)
+(* MallocFromNewSB (Fig. 4). *)
+
+let malloc_from_new_sb t heap =
+  let desc = Desc_pool.alloc t.pool in
+  (* line 1 *)
+  let sz = Sc.block_size t.classes heap.sc in
+  let maxcount =
+    min (Sc.blocks_per_superblock t.classes heap.sc) Anchor.max_count
+  in
+  let sb = Store.alloc_superblock t.store in
+  (* line 2 *)
+  desc.Descriptor.sb <- sb;
+  desc.Descriptor.heap_gid <- heap.gid;
+  desc.Descriptor.sz <- sz;
+  desc.Descriptor.maxcount <- maxcount;
+  Store.init_free_list t.store sb ~sz ~maxcount;
+  (* line 3 *)
+  (* line 9: newactive.credits = min(maxcount-1, MAXCREDITS) - 1 *)
+  let credits = min (maxcount - 1) t.cfg.maxcredits - 1 in
+  let newactive = Active_word.make ~desc_id:desc.Descriptor.id ~credits in
+  (* lines 5, 10, 11 — the anchor keeps its tag across descriptor reuse,
+     preserving the ABA argument over the descriptor's whole history. *)
+  let oldtag = Anchor.tag (Rt.Atomic.get desc.Descriptor.anchor) in
+  Rt.Atomic.set desc.Descriptor.anchor
+    (Anchor.make ~avail:1
+       ~count:(maxcount - 1 - (credits + 1))
+       ~state:Anchor.Active ~tag:(oldtag + 1));
+  Rt.fence t.rt;
+  (* line 12 *)
+  Rt.label t.rt Labels.mnsb_install;
+  (* line 13 *)
+  if Rt.Atomic.compare_and_set heap.active Active_word.null newactive then begin
+    (* lines 14-15: take block 0. *)
+    Some (finish_block t desc sb)
+  end
+  else begin
+    (* lines 16-17: another thread won the race; release everything. *)
+    Store.free_superblock t.store sb;
+    Rt.Atomic.set desc.Descriptor.anchor
+      (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:(oldtag + 2));
+    desc.Descriptor.sb <- Addr.null;
+    Desc_pool.retire t.pool desc;
+    None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* malloc (Fig. 4). *)
+
+let malloc_large t n =
+  let len = n + Prefix.prefix_bytes in
+  let base = Store.alloc_large t.store ~len in
+  Store.write_word t.store base (Prefix.large ~total_len:len);
+  base + Prefix.prefix_bytes
+
+let malloc t n =
+  if n < 0 then invalid_arg "Lf_alloc.malloc: negative size";
+  t.mallocs.(Rt.self t.rt) <- t.mallocs.(Rt.self t.rt) + 1;
+  match Sc.class_of_request t.classes n with
+  | None -> malloc_large t n (* lines 2-3 *)
+  | Some sc ->
+      let heap = my_heap t sc in
+      (* line 1 *)
+      let rec attempt () =
+        match malloc_from_active t heap with
+        | Some payload -> payload
+        | None -> (
+            match malloc_from_partial t heap with
+            | Some payload -> payload
+            | None -> (
+                match malloc_from_new_sb t heap with
+                | Some payload -> payload
+                | None -> attempt ()))
+      in
+      attempt ()
+
+(* ------------------------------------------------------------------ *)
+(* free (Fig. 6). *)
+
+let free_small t base prefix =
+  let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
+  let sb = desc.Descriptor.sb in
+  (* Wild-pointer guard (cheap, two integer checks): the address must be
+     a block boundary of the descriptor's superblock. Catches frees of
+     interior pointers and of addresses never returned by malloc before
+     they can corrupt the anchor. *)
+  let off = base - sb in
+  if
+    off < 0
+    || off >= desc.Descriptor.sz * desc.Descriptor.maxcount
+    || off mod desc.Descriptor.sz <> 0
+  then invalid_arg "Lf_alloc.free: not a block address";
+  let b = Backoff.create t.rt in
+  let rec push () =
+    let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+    (* line 8: thread the block onto the available list. *)
+    Store.write_word t.store base (Anchor.avail oldanchor);
+    let idx = (base - sb) / desc.Descriptor.sz in
+    (* line 9 *)
+    let with_avail = Anchor.set_avail oldanchor idx in
+    let oldstate = Anchor.state oldanchor in
+    if Anchor.count oldanchor = desc.Descriptor.maxcount - 1 then begin
+      (* lines 12-15: last allocated block — the superblock empties. *)
+      let heap_gid = desc.Descriptor.heap_gid in
+      (* line 13 *)
+      Rt.fence t.rt;
+      (* line 14: instruction fence *)
+      let newanchor = Anchor.set_state with_avail Anchor.Empty in
+      Rt.fence t.rt;
+      (* line 17: memory fence *)
+      Rt.label t.rt Labels.free_cas;
+      if
+        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+      then (oldstate, true, heap_gid)
+      else begin
+        bump t t.retry_free;
+        Backoff.once b;
+        push ()
+      end
+    end
+    else begin
+      (* lines 10-11, 16 *)
+      let st = if oldstate = Anchor.Full then Anchor.Partial else oldstate in
+      let newanchor =
+        Anchor.set_count (Anchor.set_state with_avail st)
+          (Anchor.count oldanchor + 1)
+      in
+      Rt.fence t.rt;
+      (* line 17: memory fence *)
+      Rt.label t.rt Labels.free_cas;
+      if
+        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+      then (oldstate, false, -1)
+      else begin
+        bump t t.retry_free;
+        Backoff.once b;
+        push ()
+      end
+    end
+  in
+  match push () with
+  | _, true, heap_gid ->
+      (* lines 19-21 *)
+      Rt.label t.rt Labels.free_empty;
+      Store.free_superblock t.store sb;
+      remove_empty_desc t (heap_of_gid t heap_gid) desc
+  | Anchor.Full, false, _ ->
+      (* lines 22-23: first free into a FULL superblock. *)
+      heap_put_partial t desc
+  | (Anchor.Active | Anchor.Partial | Anchor.Empty), false, _ -> ()
+
+let free t payload =
+  if payload = Addr.null then ()
+  else begin
+    t.frees.(Rt.self t.rt) <- t.frees.(Rt.self t.rt) + 1;
+    (* lines 2-3, extended with aligned-payload resolution *)
+    let base_payload, prefix, _delta =
+      Mm_mem.Alloc_ops.resolve t.store payload
+    in
+    let base = base_payload - Prefix.prefix_bytes in
+    if Prefix.is_large prefix then Store.free_large t.store base
+      (* lines 4-5 *)
+    else free_small t base prefix
+  end
+
+let usable_size t payload =
+  let _, prefix, delta = Mm_mem.Alloc_ops.resolve t.store payload in
+  let base_usable =
+    if Prefix.is_large prefix then
+      Prefix.large_len prefix - Prefix.prefix_bytes
+    else
+      (Descriptor.get t.table (Prefix.desc_id prefix)).Descriptor.sz
+      - Prefix.prefix_bytes
+  in
+  base_usable - delta
+
+let op_counts t =
+  (Array.fold_left ( + ) 0 t.mallocs, Array.fold_left ( + ) 0 t.frees)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection and quiescent invariant checking. *)
+
+let heap_active_desc t ~sc ~heap =
+  let aw = Rt.Atomic.get t.heaps.(sc).(heap).active in
+  if Active_word.is_null aw then None
+  else
+    Some (Descriptor.get t.table (Active_word.desc_id aw), Active_word.credits aw)
+
+let heap_partial_desc t ~sc ~heap =
+  let id = Rt.Atomic.get t.heaps.(sc).(heap).partial in
+  if id = 0 then None else Some (Descriptor.get t.table id)
+
+let partial_list t ~sc = t.lists.(sc)
+
+let pp_heap_summary fmt t =
+  Format.fprintf fmt "lock-free heap: %d size classes x %d processor heaps@,"
+    (Sc.count t.classes) t.nheaps_;
+  let live_by_class = Hashtbl.create 16 in
+  Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
+      let a = Rt.Atomic.get d.Descriptor.anchor in
+      if Anchor.state a <> Anchor.Empty && d.Descriptor.sb <> Addr.null then begin
+        let sc =
+          match Sc.class_of_request t.classes (d.Descriptor.sz - 8) with
+          | Some sc -> sc
+          | None -> -1
+        in
+        let live, free =
+          Option.value (Hashtbl.find_opt live_by_class sc) ~default:(0, 0)
+        in
+        Hashtbl.replace live_by_class sc (live + 1, free + Anchor.count a)
+      end);
+  Array.iteri
+    (fun sc row ->
+      match Hashtbl.find_opt live_by_class sc with
+      | None -> ()
+      | Some (sbs, free) ->
+          let actives =
+            Array.fold_left
+              (fun n h ->
+                if Active_word.is_null (Rt.Atomic.get h.active) then n
+                else n + 1)
+              0 row
+          in
+          let slots =
+            Array.fold_left
+              (fun n h -> if Rt.Atomic.get h.partial = 0 then n else n + 1)
+              0 row
+          in
+          Format.fprintf fmt
+            "  class %2d (%4dB): %3d superblocks, %3d active, %3d partial \
+             slots, %5d listed, %6d unreserved free blocks@,"
+            sc (Sc.block_size t.classes sc) sbs actives slots
+            (Partial_list.length t.lists.(sc))
+            free)
+    t.heaps;
+  let m, f = op_counts t in
+  Format.fprintf fmt "  ops: %d mallocs, %d frees@," m f
+
+let fail fmt = Format.kasprintf failwith fmt
+
+let check_invariants t =
+  (* 1. Collect every reference to a descriptor and ensure uniqueness. *)
+  let refs : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let active_reserved : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let add_ref id src =
+    if id <> 0 then
+      match Hashtbl.find_opt refs id with
+      | Some prev -> fail "desc %d referenced from both %s and %s" id prev src
+      | None -> Hashtbl.add refs id src
+  in
+  Array.iteri
+    (fun sc row ->
+      Array.iteri
+        (fun h heap ->
+          let aw = Rt.Atomic.get heap.active in
+          if not (Active_word.is_null aw) then begin
+            let id = Active_word.desc_id aw in
+            add_ref id (Printf.sprintf "Active[%d][%d]" sc h);
+            Hashtbl.replace active_reserved id (Active_word.credits aw + 1)
+          end;
+          add_ref
+            (Rt.Atomic.get heap.partial)
+            (Printf.sprintf "Partial[%d][%d]" sc h))
+        row)
+    t.heaps;
+  Array.iteri
+    (fun sc list ->
+      List.iter
+        (fun d ->
+          add_ref d.Descriptor.id (Printf.sprintf "PartialList[%d]" sc))
+        (Partial_list.to_list list))
+    t.lists;
+  (* 2. Per-descriptor structural checks. *)
+  Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
+      let a = Rt.Atomic.get d.Descriptor.anchor in
+      let id = d.Descriptor.id in
+      match Anchor.state a with
+      | Anchor.Empty -> (
+          (* Retired or awaiting removal; it may linger only in a size
+             class partial list. *)
+          match Hashtbl.find_opt refs id with
+          | None -> ()
+          | Some src ->
+              if not (String.length src > 11
+                      && String.sub src 0 11 = "PartialList") then
+                fail "EMPTY desc %d referenced from %s" id src)
+      | st ->
+          if d.Descriptor.sb = Addr.null then
+            fail "desc %d in state %s without superblock" id
+              (Anchor.state_to_string st);
+          let reserved =
+            Option.value (Hashtbl.find_opt active_reserved id) ~default:0
+          in
+          (match st with
+          | Anchor.Active ->
+              if reserved = 0 then
+                fail "ACTIVE desc %d not installed in any heap" id
+          | Anchor.Full ->
+              if Anchor.count a <> 0 then fail "FULL desc %d with count>0" id;
+              if Hashtbl.mem refs id then
+                fail "FULL desc %d referenced from %s" id
+                  (Hashtbl.find refs id)
+          | Anchor.Partial ->
+              if Anchor.count a = 0 then fail "PARTIAL desc %d with count=0" id;
+              if reserved > 0 then
+                fail "PARTIAL desc %d installed as an active superblock" id;
+              if not (Hashtbl.mem refs id) then
+                fail "PARTIAL desc %d unreachable" id
+          | Anchor.Empty -> assert false);
+          let free_n = Anchor.count a + reserved in
+          if free_n > d.Descriptor.maxcount then
+            fail "desc %d: %d free blocks > maxcount %d" id free_n
+              d.Descriptor.maxcount;
+          (* Walk the in-superblock free list. *)
+          let seen = Array.make d.Descriptor.maxcount false in
+          let idx = ref (Anchor.avail a) in
+          for step = 1 to free_n do
+            if !idx < 0 || !idx >= d.Descriptor.maxcount then
+              fail "desc %d: free-list index %d out of range at step %d" id
+                !idx step;
+            if seen.(!idx) then
+              fail "desc %d: free list revisits block %d" id !idx;
+            seen.(!idx) <- true;
+            idx :=
+              Store.read_word t.store
+                (d.Descriptor.sb + (!idx * d.Descriptor.sz))
+          done;
+          (* Every block not on the free list is allocated and must carry
+             this descriptor in its prefix. *)
+          for i = 0 to d.Descriptor.maxcount - 1 do
+            if not seen.(i) then begin
+              let p =
+                Store.read_word t.store
+                  (d.Descriptor.sb + (i * d.Descriptor.sz))
+              in
+              if Prefix.is_large p || Prefix.desc_id p <> id then
+                fail "desc %d: allocated block %d has corrupt prefix" id i
+            end
+          done)

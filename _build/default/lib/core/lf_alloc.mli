@@ -1,0 +1,50 @@
+(** The completely lock-free allocator — the paper's contribution (§3).
+
+    Implements [Mm_mem.Alloc_intf.ALLOCATOR]. The structure is exactly the
+    paper's: per size class, an array of processor heaps; each heap an
+    [Active] word (descriptor pointer + credits) and a most-recently-used
+    [Partial] slot; per size class a lock-free FIFO of partial
+    superblocks; descriptors from the lock-free descriptor pool. [malloc]
+    tries [MallocFromActive], then [MallocFromPartial], then
+    [MallocFromNewSB] (Fig. 4); [free] pushes the block onto its
+    superblock's anchor and handles the FULL→PARTIAL and →EMPTY
+    transitions (Fig. 6). Every algorithmic CAS, fence and instrumentation
+    point follows the figures line by line; comments in the
+    implementation cite them.
+
+    Progress: no operation ever blocks on another thread. A thread delayed
+    or killed at any {!Labels} point leaves the heap in a state from which
+    every other thread completes its own operations (verified by the
+    fault-injection test-suite under the simulated runtime). *)
+
+include Mm_mem.Alloc_intf.ALLOCATOR
+
+(** {2 Introspection beyond the common interface (tests, experiments)} *)
+
+val size_classes : t -> Mm_mem.Size_class.t
+val nheaps : t -> int
+val descriptor_table : t -> Descriptor.table
+val desc_pool : t -> Desc_pool.t
+
+val heap_active_desc : t -> sc:int -> heap:int -> (Descriptor.t * int) option
+(** The active descriptor of the given processor heap and its current
+    credits, if any (quiescent snapshot). *)
+
+val heap_partial_desc : t -> sc:int -> heap:int -> Descriptor.t option
+val partial_list : t -> sc:int -> Partial_list.t
+
+val op_counts : t -> int * int
+(** Total [(mallocs, frees)] served (striped counters; quiescent). *)
+
+val retry_sites : string list
+(** Names of the allocator's CAS contention sites. *)
+
+val pp_heap_summary : Format.formatter -> t -> unit
+(** Human-readable quiescent snapshot of the heap: per size class, the
+    number of live superblocks, installed actives, occupied Partial
+    slots, listed partials and unreserved free blocks. *)
+
+val retry_counts : t -> (string * int) list
+(** Failed-CAS counts per contention site since creation (striped
+    counters; quiescent snapshot). Quantifies where interference lands
+    under a given workload (§4.2.3). *)

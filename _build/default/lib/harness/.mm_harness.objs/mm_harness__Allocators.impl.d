@@ -1,0 +1,1 @@
+lib/harness/allocators.ml: Mm_baselines Mm_core Mm_mem

@@ -1,0 +1,1 @@
+lib/harness/allocators.mli: Mm_mem Mm_runtime

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Allocators Array Format List Mm_baselines Mm_core Mm_mem Mm_runtime Mm_workloads Option Printf Render Rt Sim

@@ -1,0 +1,20 @@
+open Mm_mem.Alloc_intf
+
+let names = [ "new"; "hoard"; "ptmalloc"; "libc" ]
+
+let make name rt cfg =
+  match name with
+  | "new" -> Inst ((module Mm_core.Lf_alloc), Mm_core.Lf_alloc.create rt cfg)
+  | "hoard" ->
+      Inst
+        ( (module Mm_baselines.Hoard_alloc),
+          Mm_baselines.Hoard_alloc.create rt cfg )
+  | "ptmalloc" ->
+      Inst
+        ( (module Mm_baselines.Ptmalloc_alloc),
+          Mm_baselines.Ptmalloc_alloc.create rt cfg )
+  | "libc" ->
+      Inst
+        ( (module Mm_baselines.Libc_alloc),
+          Mm_baselines.Libc_alloc.create rt cfg )
+  | other -> invalid_arg ("Allocators.make: unknown allocator " ^ other)

@@ -1,0 +1,11 @@
+(** Registry of the four allocators the paper compares. *)
+
+val names : string list
+(** ["new"; "hoard"; "ptmalloc"; "libc"] — "new" is the paper's lock-free
+    allocator. *)
+
+val make :
+  string -> Mm_runtime.Rt.t -> Mm_mem.Alloc_config.t ->
+  Mm_mem.Alloc_intf.instance
+(** Fresh heap of the named allocator. Raises [Invalid_argument] on an
+    unknown name. *)

@@ -1,0 +1,26 @@
+(** The experiment catalogue: one entry per table/figure of the paper's
+    evaluation (§4) plus the ablations DESIGN.md §4 calls out. Each
+    experiment runs the relevant workloads over the relevant allocators —
+    scalability figures on the 16-CPU simulated machine, latency tables on
+    the real runtime — and renders a paper-style table together with the
+    paper's qualitative expectation, so EXPERIMENTS.md can record
+    paper-vs-measured side by side. *)
+
+type mode = Quick | Full
+
+type outcome = {
+  id : string;
+  title : string;
+  expectation : string;  (** what the paper reports, in one sentence *)
+  lines : string list;  (** rendered result table *)
+}
+
+val catalogue : (string * string) list
+(** (id, title) of every experiment, in DESIGN.md order. *)
+
+val run : string -> mode:mode -> seed:int -> outcome
+(** Raises [Invalid_argument] on an unknown id. *)
+
+val run_all : mode:mode -> seed:int -> outcome list
+
+val print_outcome : Format.formatter -> outcome -> unit

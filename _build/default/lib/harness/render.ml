@@ -1,0 +1,48 @@
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w -> pad w (Option.value (List.nth_opt row c) ~default:""))
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  render_row header :: sep :: List.map render_row rows
+
+let fmt_speedup v = Printf.sprintf "%.2f" v
+
+let fmt_throughput v =
+  if v >= 1e6 then Printf.sprintf "%.2fM/s" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk/s" (v /. 1e3)
+  else Printf.sprintf "%.0f/s" v
+
+let fmt_ns v = Printf.sprintf "%.0fns" v
+
+let fmt_bytes n =
+  if n >= 1 lsl 20 then Printf.sprintf "%.1fMB" (float_of_int n /. 1048576.0)
+  else Printf.sprintf "%dKB" (n / 1024)
+
+let series ~col_title ~cols ~row_title ~rows =
+  let header = (row_title ^ "\\" ^ col_title) :: cols in
+  let body =
+    List.map
+      (fun (label, values) -> label :: List.map fmt_speedup values)
+      rows
+  in
+  table ~header ~rows:body

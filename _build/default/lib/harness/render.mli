@@ -1,0 +1,18 @@
+(** Plain-text rendering of experiment results (tables and series). *)
+
+val table : header:string list -> rows:string list list -> string list
+(** Fixed-width ASCII table, one output line per list element. *)
+
+val fmt_speedup : float -> string
+val fmt_throughput : float -> string
+val fmt_ns : float -> string
+val fmt_bytes : int -> string
+
+val series :
+  col_title:string ->
+  cols:string list ->
+  row_title:string ->
+  rows:(string * float list) list ->
+  string list
+(** A figure-like series table: one row per x value (e.g. thread count),
+    one column per line (e.g. allocator). *)

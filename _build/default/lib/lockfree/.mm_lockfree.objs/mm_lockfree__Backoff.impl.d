@@ -1,0 +1,1 @@
+lib/lockfree/backoff.ml: Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/lockfree/backoff.mli: Mm_runtime

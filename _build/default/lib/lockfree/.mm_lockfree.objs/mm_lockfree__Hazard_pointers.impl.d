@@ -1,0 +1,1 @@
+lib/lockfree/hazard_pointers.ml: Array List Mm_runtime Rt

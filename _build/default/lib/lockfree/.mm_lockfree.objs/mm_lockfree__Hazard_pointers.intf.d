@@ -1,0 +1,1 @@
+lib/lockfree/hazard_pointers.mli: Mm_runtime

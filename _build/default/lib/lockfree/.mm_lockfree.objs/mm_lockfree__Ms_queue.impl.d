@@ -1,0 +1,1 @@
+lib/lockfree/ms_queue.ml: Backoff List Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/lockfree/ms_queue.mli: Mm_runtime

@@ -1,0 +1,1 @@
+lib/lockfree/tagged_id_stack.ml: Backoff List Mm_runtime Rt

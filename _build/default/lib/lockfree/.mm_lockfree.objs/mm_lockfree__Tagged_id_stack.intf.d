@@ -1,0 +1,1 @@
+lib/lockfree/tagged_id_stack.mli: Mm_runtime

@@ -1,0 +1,1 @@
+lib/lockfree/treiber_stack.ml: Backoff List Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/lockfree/treiber_stack.mli: Mm_runtime

@@ -1,0 +1,21 @@
+open Mm_runtime
+
+type t = {
+  rt : Rt.t;
+  min_spins : int;
+  max_spins : int;
+  mutable spins : int;
+}
+
+let create ?(min_spins = 1) ?(max_spins = 256) rt =
+  if min_spins < 1 || max_spins < min_spins then
+    invalid_arg "Backoff.create: need 1 <= min_spins <= max_spins";
+  { rt; min_spins; max_spins; spins = min_spins }
+
+let once t =
+  for _ = 1 to t.spins do
+    Rt.cpu_relax t.rt
+  done;
+  if t.spins < t.max_spins then t.spins <- t.spins * 2
+
+let reset t = t.spins <- t.min_spins

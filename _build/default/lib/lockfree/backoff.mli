@@ -1,0 +1,17 @@
+(** Bounded exponential backoff for CAS-retry loops.
+
+    Failed CAS attempts indicate interference; backing off reduces
+    coherence traffic on the contended line. Used by every retry loop in
+    the allocator and the lock substrate. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> Mm_runtime.Rt.t -> t
+(** Fresh backoff state (not thread-safe: one per thread per loop).
+    Defaults: 1 to 256 spins. *)
+
+val once : t -> unit
+(** Spin for the current delay and double it (saturating). *)
+
+val reset : t -> unit
+(** Return the delay to its minimum (call after a successful operation). *)

@@ -1,0 +1,47 @@
+open Mm_runtime
+
+type 'a node = { value : 'a; next : 'a node option }
+
+type 'a t = { rt : Rt.t; head : 'a node option Rt.atomic }
+
+let create rt = { rt; head = Rt.Atomic.make rt None }
+
+let push t v =
+  let b = Backoff.create t.rt in
+  let rec go () =
+    let old = Rt.Atomic.get t.head in
+    let node = Some { value = v; next = old } in
+    if not (Rt.Atomic.compare_and_set t.head old node) then begin
+      Backoff.once b;
+      go ()
+    end
+  in
+  go ()
+
+let pop t =
+  let b = Backoff.create t.rt in
+  let rec go () =
+    match Rt.Atomic.get t.head with
+    | None -> None
+    | Some n as old ->
+        if Rt.Atomic.compare_and_set t.head old n.next then Some n.value
+        else begin
+          Backoff.once b;
+          go ()
+        end
+  in
+  go ()
+
+let peek t =
+  match Rt.Atomic.get t.head with None -> None | Some n -> Some n.value
+
+let is_empty t = Rt.Atomic.get t.head = None
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.value :: acc) n.next
+  in
+  go [] (Rt.Atomic.get t.head)
+
+let length t = List.length (to_list t)

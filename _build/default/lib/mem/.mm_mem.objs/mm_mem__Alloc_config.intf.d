@@ -1,0 +1,1 @@
+lib/mem/alloc_config.mli: Mm_runtime

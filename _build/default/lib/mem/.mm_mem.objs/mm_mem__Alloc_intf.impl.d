@@ -1,0 +1,1 @@
+lib/mem/alloc_intf.ml: Alloc_config Mm_runtime Space Store

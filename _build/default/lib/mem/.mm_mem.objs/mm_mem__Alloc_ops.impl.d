@@ -1,0 +1,1 @@
+lib/mem/alloc_ops.ml: Addr Alloc_intf Block_prefix Store

@@ -1,0 +1,1 @@
+lib/mem/alloc_ops.mli: Alloc_intf Store

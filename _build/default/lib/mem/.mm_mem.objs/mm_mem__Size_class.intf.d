@@ -1,0 +1,1 @@
+lib/mem/size_class.mli:

@@ -1,0 +1,1 @@
+lib/mem/store.ml: Addr Array Bytes Int64 List Mm_lockfree Mm_runtime Rt Space

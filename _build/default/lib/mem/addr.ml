@@ -1,0 +1,13 @@
+let offset_bits = 32
+let max_offset = (1 lsl offset_bits) - 1
+let max_region = (1 lsl (62 - offset_bits)) - 1
+
+let make ~region ~offset =
+  if region < 0 || region > max_region then invalid_arg "Addr.make: region";
+  if offset < 0 || offset > max_offset then invalid_arg "Addr.make: offset";
+  (region lsl offset_bits) lor offset
+
+let region addr = addr lsr offset_bits
+let offset addr = addr land max_offset
+let line addr = addr lsr 6
+let null = 0

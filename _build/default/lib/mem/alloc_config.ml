@@ -1,0 +1,54 @@
+type partial_policy = Fifo | Lifo
+type desc_pool_kind = Hazard | Tagged
+type lock_kind = Tas_backoff | Ticket | Mcs | Pthread_like
+
+type t = {
+  nheaps : int;
+  sbsize : int;
+  maxcredits : int;
+  partial_policy : partial_policy;
+  desc_pool : desc_pool_kind;
+  hyperblocks : bool;
+  store_capacity : int;
+  lock_kind : lock_kind;
+  arena_limit : int;
+}
+
+let default =
+  {
+    nheaps = 0;
+    sbsize = 16 * 1024;
+    maxcredits = 64;
+    partial_policy = Fifo;
+    desc_pool = Hazard;
+    hyperblocks = false;
+    store_capacity = 65536;
+    lock_kind = Tas_backoff;
+    arena_limit = 64;
+  }
+
+let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
+    ?(maxcredits = default.maxcredits)
+    ?(partial_policy = default.partial_policy)
+    ?(desc_pool = default.desc_pool) ?(hyperblocks = default.hyperblocks)
+    ?(store_capacity = default.store_capacity)
+    ?(lock_kind = default.lock_kind) ?(arena_limit = default.arena_limit) ()
+    =
+  if nheaps < 0 then invalid_arg "Alloc_config: nheaps must be >= 0";
+  if maxcredits < 1 || maxcredits > 64 then
+    invalid_arg "Alloc_config: maxcredits must be in [1, 64]";
+  if arena_limit < 1 then invalid_arg "Alloc_config: arena_limit must be >= 1";
+  {
+    nheaps;
+    sbsize;
+    maxcredits;
+    partial_policy;
+    desc_pool;
+    hyperblocks;
+    store_capacity;
+    lock_kind;
+    arena_limit;
+  }
+
+let effective_nheaps t rt =
+  if t.nheaps > 0 then t.nheaps else max 1 (Mm_runtime.Rt.num_cpus rt)

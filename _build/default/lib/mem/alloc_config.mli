@@ -1,0 +1,55 @@
+(** Configuration shared by all allocators in the repository.
+
+    Defaults mirror the paper's setup: 16 KiB superblocks, [MAXCREDITS] =
+    64, one processor heap per (simulated) CPU per size class, FIFO
+    partial lists, hazard-pointer descriptor freelist. The alternatives
+    are the paper's own design options and are exercised by the ablation
+    benchmarks (see DESIGN.md §4). *)
+
+type partial_policy =
+  | Fifo  (** §3.2.6 preferred: MS-queue; reduces contention/false sharing *)
+  | Lifo  (** §3.2.6 alternative: lock-free LIFO list *)
+
+type desc_pool_kind =
+  | Hazard  (** Fig. 7 with SafeCAS via hazard pointers (paper default) *)
+  | Tagged  (** IBM tag in the freelist head word (paper [18] alternative) *)
+
+type lock_kind =
+  | Tas_backoff  (** "lightweight" test-and-set lock of §4 *)
+  | Ticket  (** FIFO-fair ticket lock *)
+  | Mcs  (** Mellor-Crummey–Scott queue lock: FIFO, local spinning *)
+  | Pthread_like  (** models a heavier kernel-assisted mutex *)
+
+type t = {
+  nheaps : int;
+      (** processor heaps per size class; 1 enables the §4.2.4 uniprocessor
+          optimization. 0 means "one per runtime CPU". *)
+  sbsize : int;  (** superblock size in bytes (power of two) *)
+  maxcredits : int;  (** at most 64: credits live in 6 bits of Active *)
+  partial_policy : partial_policy;
+  desc_pool : desc_pool_kind;
+  hyperblocks : bool;  (** §3.2.5 batch superblock mmaps *)
+  store_capacity : int;  (** region-table slots in the store *)
+  lock_kind : lock_kind;  (** lock used by the lock-based baselines *)
+  arena_limit : int;  (** Ptmalloc baseline: max arenas (paper observes it
+                          creating more arenas than threads) *)
+}
+
+val default : t
+
+val make :
+  ?nheaps:int ->
+  ?sbsize:int ->
+  ?maxcredits:int ->
+  ?partial_policy:partial_policy ->
+  ?desc_pool:desc_pool_kind ->
+  ?hyperblocks:bool ->
+  ?store_capacity:int ->
+  ?lock_kind:lock_kind ->
+  ?arena_limit:int ->
+  unit ->
+  t
+(** [default] with overrides; validates ranges. *)
+
+val effective_nheaps : t -> Mm_runtime.Rt.t -> int
+(** Resolves [nheaps = 0] to the runtime's CPU count. *)

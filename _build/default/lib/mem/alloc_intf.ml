@@ -1,0 +1,55 @@
+(** The interface every allocator in this repository implements — the
+    lock-free allocator of the paper ([Mm_core.Lf_alloc]) and the three
+    baselines it is evaluated against ([Mm_baselines.Libc_alloc],
+    [Mm_baselines.Hoard_alloc], [Mm_baselines.Ptmalloc_alloc]).
+
+    Addresses returned by [malloc] point at the block payload (the 8-byte
+    prefix sits just below, as in the paper); payload words are accessed
+    through the allocator's {!Store}. *)
+
+module type ALLOCATOR = sig
+  type t
+
+  val name : string
+  (** Short identifier used in experiment output ("new", "hoard", ...). *)
+
+  val create : Mm_runtime.Rt.t -> Alloc_config.t -> t
+  (** A fresh, independent heap (own store, own descriptors). Thread-safe
+      for concurrent [malloc]/[free] once created. *)
+
+  val malloc : t -> int -> int
+  (** [malloc t n] allocates a block with at least [n] payload bytes and
+      returns its payload address (never {!Addr.null}; raises
+      [Invalid_argument] on negative [n], [Failure] on substrate
+      exhaustion). [malloc t 0] returns a valid unique block. *)
+
+  val free : t -> int -> unit
+  (** Returns a block to the heap. [free t Addr.null] is a no-op. Freeing
+      an address not obtained from [malloc] (or freeing twice) is a
+      programming error with undefined (but memory-safe) behaviour, as in
+      C. *)
+
+  val usable_size : t -> int -> int
+  (** Payload bytes actually available at an address returned by [malloc]
+      (or [Alloc_ops.aligned_alloc]); at least the requested size. *)
+
+  val store : t -> Store.t
+  val rt : t -> Mm_runtime.Rt.t
+
+  val check_invariants : t -> unit
+  (** Validate internal invariants; requires quiescence (no concurrent
+      operations). Raises [Failure] with a diagnostic on violation. *)
+end
+
+(** An allocator packaged with one of its heaps — what workloads and
+    experiments pass around. *)
+type instance = Inst : (module ALLOCATOR with type t = 'a) * 'a -> instance
+
+let instance_name (Inst ((module A), _)) = A.name
+let instance_malloc (Inst ((module A), h)) n = A.malloc h n
+let instance_free (Inst ((module A), h)) addr = A.free h addr
+let instance_usable (Inst ((module A), h)) addr = A.usable_size h addr
+let instance_store (Inst ((module A), h)) = A.store h
+let instance_rt (Inst ((module A), h)) = A.rt h
+let instance_check (Inst ((module A), h)) = A.check_invariants h
+let instance_space (Inst ((module A), h)) = Space.read (Store.space (A.store h))

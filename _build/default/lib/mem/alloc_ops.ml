@@ -1,0 +1,64 @@
+module Prefix = Block_prefix
+open Alloc_intf
+
+let resolve store payload =
+  let prefix = Store.read_word store (payload - Prefix.prefix_bytes) in
+  if Prefix.is_offset prefix then begin
+    let delta = Prefix.offset_delta prefix in
+    let base = payload - delta in
+    (base, Store.read_word store (base - Prefix.prefix_bytes), delta)
+  end
+  else (payload, prefix, 0)
+
+let calloc inst ~count ~size =
+  if count < 0 || size < 0 then invalid_arg "Alloc_ops.calloc: negative";
+  let n = count * size in
+  let addr = instance_malloc inst n in
+  let store = instance_store inst in
+  let words = (n + 7) / 8 in
+  for w = 0 to words - 1 do
+    Store.write_word store (addr + (8 * w)) 0
+  done;
+  addr
+
+let realloc inst addr n =
+  if n < 0 then invalid_arg "Alloc_ops.realloc: negative size";
+  if addr = Addr.null then instance_malloc inst n
+  else begin
+    let old_usable = instance_usable inst addr in
+    if n <= old_usable then addr
+    else begin
+      let fresh = instance_malloc inst n in
+      let store = instance_store inst in
+      let words = (old_usable + 7) / 8 in
+      for w = 0 to words - 1 do
+        Store.write_word store (fresh + (8 * w))
+          (Store.read_word store (addr + (8 * w)))
+      done;
+      instance_free inst addr;
+      fresh
+    end
+  end
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let aligned_alloc inst ~align n =
+  if not (is_pow2 align) then
+    invalid_arg "Alloc_ops.aligned_alloc: alignment must be a power of two";
+  if n < 0 then invalid_arg "Alloc_ops.aligned_alloc: negative size";
+  if align <= 8 then instance_malloc inst n
+  else begin
+    (* Payloads are 8-aligned; over-allocate so an aligned position with
+       [n] bytes of room always exists, and leave space for the offset
+       word below it. *)
+    let raw = instance_malloc inst (n + align) in
+    let aligned = (raw + align - 1) / align * align in
+    if aligned = raw then raw
+    else begin
+      let store = instance_store inst in
+      Store.write_word store
+        (aligned - Block_prefix.prefix_bytes)
+        (Block_prefix.offset ~delta:(aligned - raw));
+      aligned
+    end
+  end

@@ -1,0 +1,215 @@
+open Mm_runtime
+module Ts = Mm_lockfree.Treiber_stack
+
+type region = { bytes : Bytes.t; base : int; len : int }
+
+type os_stats = {
+  mmap_calls : int;
+  munmap_calls : int;
+  sb_allocs : int;
+  sb_frees : int;
+}
+
+type t = {
+  rt : Rt.t;
+  capacity : int;
+  regions : region option Rt.atomic array;
+  next_id : int Rt.atomic;
+  free_ids : int Ts.t;  (* recycled region ids (large blocks) *)
+  sb_pool : int Ts.t;  (* recycled superblock region ids, bytes kept *)
+  sbsize : int;
+  hyperblocks : bool;
+  sbs_per_hyper : int;
+  space : Space.t;
+  mmap_calls : int Rt.atomic;
+  munmap_calls : int Rt.atomic;
+  sb_allocs : int Rt.atomic;
+  sb_frees : int Rt.atomic;
+}
+
+let create rt ?(capacity = 65536) ?(sbsize = 16 * 1024) ?(hyperblocks = false)
+    () =
+  if capacity < 2 then invalid_arg "Store.create: capacity too small";
+  {
+    rt;
+    capacity;
+    regions = Array.init capacity (fun _ -> Rt.Atomic.make rt None);
+    next_id = Rt.Atomic.make rt 1 (* region 0 reserved: Addr.null *);
+    free_ids = Ts.create rt;
+    sb_pool = Ts.create rt;
+    sbsize;
+    hyperblocks;
+    sbs_per_hyper = max 1 (1024 * 1024 / sbsize);
+    space = Space.create rt;
+    mmap_calls = Rt.Atomic.make rt 0;
+    munmap_calls = Rt.Atomic.make rt 0;
+    sb_allocs = Rt.Atomic.make rt 0;
+    sb_frees = Rt.Atomic.make rt 0;
+  }
+
+let rt t = t.rt
+let sbsize t = t.sbsize
+let space t = t.space
+
+let os_stats t =
+  {
+    mmap_calls = Rt.Atomic.get t.mmap_calls;
+    munmap_calls = Rt.Atomic.get t.munmap_calls;
+    sb_allocs = Rt.Atomic.get t.sb_allocs;
+    sb_frees = Rt.Atomic.get t.sb_frees;
+  }
+
+let fresh_id t =
+  match Ts.pop t.free_ids with
+  | Some id -> id
+  | None ->
+      let id = Rt.Atomic.fetch_and_add t.next_id 1 in
+      if id >= t.capacity then
+        failwith "Store: region table exhausted (raise ~capacity)";
+      id
+
+let install t id region = Rt.Atomic.set t.regions.(id) (Some region)
+
+let page = 4096
+let round_pages n = (n + page - 1) / page * page
+
+(* One simulated mmap of [len] bytes; [slices] regions are carved out of
+   it (1 for large blocks / plain superblocks, [sbs_per_hyper] for
+   hyperblocks). Returns the ids in order. *)
+let mmap t ~len ~slices ~slice_len =
+  Rt.syscall t.rt;
+  Rt.Atomic.incr t.mmap_calls;
+  Space.add_mapped t.space (round_pages len);
+  let bytes = Bytes.make len '\000' in
+  List.init slices (fun i ->
+      let id = fresh_id t in
+      install t id { bytes; base = i * slice_len; len = slice_len };
+      id)
+
+let alloc_superblock t =
+  Rt.Atomic.incr t.sb_allocs;
+  match Ts.pop t.sb_pool with
+  | Some id ->
+      if not t.hyperblocks then begin
+        (* Recycling pooled bytes is a host-side optimization; the model
+           still pays and counts a real mmap. *)
+        Rt.syscall t.rt;
+        Rt.Atomic.incr t.mmap_calls;
+        Space.add_mapped t.space t.sbsize
+      end;
+      (match Rt.Atomic.get t.regions.(id) with
+      | Some r -> Bytes.fill r.bytes r.base r.len '\000'
+      | None -> assert false);
+      Addr.make ~region:id ~offset:0
+  | None ->
+      if t.hyperblocks then begin
+        let ids =
+          mmap t
+            ~len:(t.sbsize * t.sbs_per_hyper)
+            ~slices:t.sbs_per_hyper ~slice_len:t.sbsize
+        in
+        match ids with
+        | first :: rest ->
+            List.iter (fun id -> Ts.push t.sb_pool id) rest;
+            Addr.make ~region:first ~offset:0
+        | [] -> assert false
+      end
+      else
+        let ids = mmap t ~len:t.sbsize ~slices:1 ~slice_len:t.sbsize in
+        Addr.make ~region:(List.hd ids) ~offset:0
+
+let free_superblock t addr =
+  if Addr.offset addr <> 0 then
+    invalid_arg "Store.free_superblock: not a region base";
+  Rt.Atomic.incr t.sb_frees;
+  if not t.hyperblocks then begin
+    Rt.syscall t.rt;
+    Rt.Atomic.incr t.munmap_calls;
+    Space.add_mapped t.space (-t.sbsize)
+  end;
+  Ts.push t.sb_pool (Addr.region addr)
+
+let alloc_large t ~len =
+  if len <= 0 then invalid_arg "Store.alloc_large: len must be positive";
+  let ids = mmap t ~len ~slices:1 ~slice_len:len in
+  Addr.make ~region:(List.hd ids) ~offset:0
+
+let free_large t addr =
+  if Addr.offset addr <> 0 then
+    invalid_arg "Store.free_large: not a region base";
+  let id = Addr.region addr in
+  match Rt.Atomic.get t.regions.(id) with
+  | None -> invalid_arg "Store.free_large: dead region"
+  | Some r ->
+      Rt.syscall t.rt;
+      Rt.Atomic.incr t.munmap_calls;
+      Space.add_mapped t.space (-round_pages r.len);
+      Rt.Atomic.set t.regions.(id) None;
+      Ts.push t.free_ids id
+
+let region_of t addr =
+  let id = Addr.region addr in
+  if id <= 0 || id >= t.capacity then None else Rt.Atomic.get t.regions.(id)
+
+let region_len t addr =
+  match region_of t addr with None -> 0 | Some r -> r.len
+
+let live_regions t =
+  let n = ref 0 in
+  Array.iter (fun a -> if Rt.Atomic.get a <> None then incr n) t.regions;
+  !n
+
+let read_word t addr =
+  match region_of t addr with
+  | None -> 0
+  | Some r ->
+      let off = Addr.offset addr in
+      if off + 8 > r.len then 0
+      else Rt.read_word t.rt r.bytes (r.base + off) ~line:(Addr.line addr)
+
+let write_word t addr v =
+  match region_of t addr with
+  | None -> ()
+  | Some r ->
+      let off = Addr.offset addr in
+      if off + 8 > r.len then ()
+      else Rt.write_word t.rt r.bytes (r.base + off) ~line:(Addr.line addr) v
+
+let init_free_list t addr ~sz ~maxcount =
+  match region_of t addr with
+  | None -> invalid_arg "Store.init_free_list: dead region"
+  | Some r ->
+      let off = Addr.offset addr in
+      if off + (sz * maxcount) > r.len then
+        invalid_arg "Store.init_free_list: out of bounds";
+      for i = 0 to maxcount - 1 do
+        Bytes.set_int64_le r.bytes (r.base + off + (i * sz)) (Int64.of_int (i + 1))
+      done;
+      (* The superblock is private until published; charge the traffic as
+         one cold streaming write. *)
+      Rt.touch_batch t.rt ~line:(Addr.line addr) ~write:true ~count:maxcount
+
+let write_payload_round t addr ~len ~times =
+  match region_of t addr with
+  | None -> ()
+  | Some r -> (
+      let off = Addr.offset addr in
+      let len = min len (max 0 (r.len - off)) in
+      if len > 0 then
+        match t.rt with
+        | rt when not (Rt.is_sim rt) ->
+            for _ = 1 to times do
+              Bytes.unsafe_fill r.bytes (r.base + off) len 'w'
+            done
+        | rt ->
+            (* Split into a few batches so concurrent writers to a shared
+               line still ping-pong in the cache model. *)
+            let total = len * times in
+            let chunks = min 8 (max 1 times) in
+            let per = max 1 (total / chunks) in
+            let remaining = ref total in
+            while !remaining > 0 do
+              let n = min per !remaining in
+              Rt.touch_batch rt ~line:(Addr.line addr) ~write:true ~count:n;
+              remaining := !remaining - n
+            done)

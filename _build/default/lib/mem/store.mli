@@ -1,0 +1,91 @@
+(** The simulated OS memory substrate.
+
+    Plays the role of [mmap]/[munmap] plus raw memory in the paper: it
+    hands out {e regions} (superblock-sized, or arbitrary-sized for large
+    blocks) addressed by {!Addr} and backed by host [Bytes.t], and gives
+    word-level access to them, charged through the runtime so the
+    simulator sees the cache-line traffic. All four allocators share this
+    substrate, so OS-call and space statistics are directly comparable.
+
+    Concurrency: region allocation uses a lock-free id counter plus
+    lock-free recycling stacks; region slots are published through atomics.
+    Reading through a stale address (a block freed and its region reused —
+    possible only for code outside the allocator's safety argument)
+    returns harmless garbage, never a crash, mirroring real address-space
+    reuse.
+
+    Superblock recycling and hyperblocks (paper §3.2.5): with
+    [hyperblocks:false], every superblock allocation/free is a simulated
+    mmap/munmap (one syscall each); with [hyperblocks:true], superblocks
+    are carved 64 at a time from 1 MiB hyperblock mappings, so the syscall
+    rate drops by that factor — the ablation benchmark measures exactly
+    this. Freed hyperblocks are kept pooled rather than unmapped (the
+    paper returns them eventually; the difference is invisible to every
+    measured quantity except long-run RSS, which the simulation does not
+    model). *)
+
+type t
+
+type os_stats = {
+  mmap_calls : int;
+  munmap_calls : int;
+  sb_allocs : int;  (** superblock allocations served (incl. recycled) *)
+  sb_frees : int;
+}
+
+val create :
+  Mm_runtime.Rt.t ->
+  ?capacity:int ->
+  ?sbsize:int ->
+  ?hyperblocks:bool ->
+  unit ->
+  t
+(** Defaults: capacity 65536 regions, 16 KiB superblocks, no hyperblocks. *)
+
+val rt : t -> Mm_runtime.Rt.t
+val sbsize : t -> int
+val space : t -> Space.t
+val os_stats : t -> os_stats
+
+(** {2 Regions} *)
+
+val alloc_superblock : t -> int
+(** Address of a fresh zero-filled superblock ([sbsize] bytes). *)
+
+val free_superblock : t -> int -> unit
+(** [addr] must be the base address of a live superblock. *)
+
+val alloc_large : t -> len:int -> int
+(** A dedicated region of at least [len] bytes; space is accounted
+    page-rounded (4 KiB), as a real mmap would. *)
+
+val free_large : t -> int -> unit
+(** [addr] must be the base address of a live large region. *)
+
+val region_len : t -> int -> int
+(** Length of the region containing [addr]; 0 if dead. *)
+
+val live_regions : t -> int
+(** Number of currently mapped regions (quiescent snapshot; tests). *)
+
+(** {2 Word access}
+
+    [addr] is a full address (region + byte offset); words are 8 bytes.
+    Out-of-bounds or dead-region reads return 0 and writes are dropped —
+    the memory-safe analogue of touching unmapped memory. *)
+
+val read_word : t -> int -> int
+val write_word : t -> int -> int -> unit
+
+val init_free_list : t -> int -> sz:int -> maxcount:int -> unit
+(** Thread the in-block free list of a fresh superblock: block [i]'s first
+    word is set to [i + 1] ("organize blocks in a linked list starting
+    with index 0", Fig. 4). Charged as one streaming write, since the
+    superblock is still private to its creator. *)
+
+val write_payload_round : t -> int -> len:int -> times:int -> unit
+(** Model the benchmark pattern "write [times] times to each of the [len]
+    payload bytes at [addr]": real runtime performs the actual byte
+    writes (creating genuine cache traffic, e.g. false sharing);
+    simulation charges the equivalent line accesses in a few batched
+    events so line ping-pong between CPUs is still exhibited. *)

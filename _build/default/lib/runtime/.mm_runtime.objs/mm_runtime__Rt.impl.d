@@ -1,0 +1,1 @@
+lib/runtime/rt.ml: Array Bytes Cost Domain Int64 Printf Sim Stdlib Sys Unix

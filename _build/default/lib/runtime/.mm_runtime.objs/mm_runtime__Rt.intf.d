@@ -1,0 +1,1 @@
+lib/runtime/rt.mli: Bytes Sim

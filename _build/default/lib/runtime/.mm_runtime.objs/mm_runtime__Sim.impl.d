@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Array Cost Effect Hashtbl List Printf Prng Queue

@@ -1,0 +1,30 @@
+type t = {
+  plain_access : int;
+  atomic_op : int;
+  line_transfer : int;
+  line_invalidate : int;
+  fence : int;
+  yield : int;
+  ctx_switch : int;
+  syscall : int;
+  quantum : int;
+  cycles_per_sec : float;
+}
+
+let default =
+  {
+    plain_access = 2;
+    atomic_op = 30;
+    line_transfer = 120;
+    line_invalidate = 60;
+    fence = 20;
+    yield = 60;
+    ctx_switch = 2_000;
+    syscall = 4_000;
+    quantum = 100_000;
+    cycles_per_sec = 1.0e9;
+  }
+
+let no_contention =
+  { default with line_transfer = default.plain_access;
+                 line_invalidate = default.plain_access }

@@ -1,0 +1,31 @@
+(** Cost model for the simulated multiprocessor.
+
+    All costs are in cycles of virtual time. The defaults are loosely
+    calibrated to a 2000s-era shared-memory multiprocessor (the paper's
+    POWER3/POWER4 machines): an uncontended atomic read-modify-write costs
+    tens of cycles, pulling a cache line modified by another processor costs
+    roughly a hundred cycles, and a trip into the kernel costs thousands.
+    The absolute values only set the scale of reported virtual time; the
+    reproduced *shapes* (scaling slopes, crossovers) come from the ratios —
+    chiefly [line_transfer] versus [work] — and remain stable across
+    reasonable calibrations (see the cost-sensitivity tests). *)
+
+type t = {
+  plain_access : int;  (** cache-hit load/store of a word *)
+  atomic_op : int;  (** uncontended atomic load/store/CAS/fetch-add *)
+  line_transfer : int;  (** fetching a line last written by another CPU *)
+  line_invalidate : int;  (** upgrading a shared line for writing *)
+  fence : int;  (** full memory barrier *)
+  yield : int;  (** voluntary processor yield *)
+  ctx_switch : int;  (** involuntary context switch (preemption) *)
+  syscall : int;  (** kernel entry/exit, e.g. mmap/munmap *)
+  quantum : int;  (** scheduling quantum before preemption *)
+  cycles_per_sec : float;  (** converts virtual cycles to seconds *)
+}
+
+val default : t
+(** The calibration described above. *)
+
+val no_contention : t
+(** A variant where cache-line transfers cost the same as hits; used by
+    tests to isolate algorithmic work from contention effects. *)

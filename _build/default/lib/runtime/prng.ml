@@ -1,0 +1,53 @@
+(* SplitMix64. Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = next t in
+    let v = r mod bound in
+    if r - v > (max_int lsr 2) * 4 - bound + 1 then go () else v
+  in
+  if bound land (bound - 1) = 0 then next t land (bound - 1) else go ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every source of randomness in the repository — simulated schedules,
+    workload block sizes, shuffles — goes through this module so that an
+    experiment is fully reproducible from its seed.  The generator is
+    SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny state, good
+    statistical quality, and a [split] operation that derives independent
+    streams, which we use to give each simulated thread its own stream. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val next : t -> int
+(** Next non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,199 @@
+type t = Real | Simulated of Sim.t
+
+let real = Real
+let simulated sim = Simulated sim
+let is_sim = function Real -> false | Simulated _ -> true
+let sim = function Real -> None | Simulated s -> Some s
+let name = function Real -> "real" | Simulated _ -> "sim"
+let max_threads = 64
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic cache lines for atomics: negative ids, so they can never
+   collide with memory-derived lines (which are non-negative). *)
+
+let line_counter = Stdlib.Atomic.make 0
+
+let fresh_line () = -1 - Stdlib.Atomic.fetch_and_add line_counter 1
+
+(* ------------------------------------------------------------------ *)
+(* Atomics. *)
+
+type 'a atomic =
+  | Real_at of 'a Stdlib.Atomic.t
+  | Sim_at of { mutable v : 'a; line : int }
+
+module Atomic = struct
+  let make rt ?line v =
+    match rt with
+    | Real -> Real_at (Stdlib.Atomic.make v)
+    | Simulated _ ->
+        let line = match line with Some l -> l | None -> fresh_line () in
+        Sim_at { v; line }
+
+  let get = function
+    | Real_at a -> Stdlib.Atomic.get a
+    | Sim_at r ->
+        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:false;
+        r.v
+
+  let set at v =
+    match at with
+    | Real_at a -> Stdlib.Atomic.set a v
+    | Sim_at r ->
+        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:true;
+        r.v <- v
+
+  let compare_and_set at expected desired =
+    match at with
+    | Real_at a -> Stdlib.Atomic.compare_and_set a expected desired
+    | Sim_at r ->
+        (* Even a failing CAS acquires the line exclusively. *)
+        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:true;
+        if r.v == expected then begin
+          r.v <- desired;
+          true
+        end
+        else false
+
+  let fetch_and_add (at : int atomic) n =
+    match at with
+    | Real_at a -> Stdlib.Atomic.fetch_and_add a n
+    | Sim_at r ->
+        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:true;
+        let old = r.v in
+        r.v <- old + n;
+        old
+
+  let incr at = ignore (fetch_and_add at 1)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Word access to simulated memory. *)
+
+let read_word rt bytes off ~line =
+  (match rt with
+  | Real -> ()
+  | Simulated _ ->
+      if Sim.in_sim () then Sim.step_mem ~line ~write:false);
+  Int64.to_int (Bytes.get_int64_le bytes off)
+
+let write_word rt bytes off ~line v =
+  (match rt with
+  | Real -> ()
+  | Simulated _ -> if Sim.in_sim () then Sim.step_mem ~line ~write:true);
+  Bytes.set_int64_le bytes off (Int64.of_int v)
+
+let touch rt ~line ~write =
+  match rt with
+  | Real -> ()
+  | Simulated _ -> if Sim.in_sim () then Sim.step_mem ~line ~write
+
+let touch_batch rt ~line ~write ~count =
+  match rt with
+  | Real -> ()
+  | Simulated _ -> if Sim.in_sim () then Sim.step_mem_batch ~line ~write ~count
+
+(* ------------------------------------------------------------------ *)
+(* Control. *)
+
+let fence_dummy = Stdlib.Atomic.make 0
+
+let fence = function
+  | Real -> ignore (Stdlib.Atomic.get fence_dummy)
+  | Simulated _ -> if Sim.in_sim () then Sim.step_fence ()
+
+let cpu_relax = function
+  | Real -> Domain.cpu_relax ()
+  | Simulated _ -> if Sim.in_sim () then Sim.step_work 8
+
+(* Opaque sink so real [work] loops are not optimized away. *)
+let work_sink = ref 0
+
+let work rt n =
+  match rt with
+  | Real ->
+      let acc = ref !work_sink in
+      for i = 1 to n do
+        acc := (!acc * 25214903917) + i
+      done;
+      work_sink := Sys.opaque_identity !acc
+  | Simulated _ -> if Sim.in_sim () then Sim.step_work n
+
+let yield = function
+  | Real ->
+      (* A genuine scheduler yield: on an oversubscribed host, spinning
+         with PAUSE alone can leave the thread we wait on unscheduled
+         for a whole quantum. *)
+      (try Unix.sleepf 1e-6 with Unix.Unix_error _ -> Domain.cpu_relax ())
+  | Simulated _ -> if Sim.in_sim () then Sim.step_yield ()
+
+let syscall = function
+  | Real -> ()
+  | Simulated _ -> if Sim.in_sim () then Sim.step_syscall ()
+
+let real_label_hook : (string -> unit) ref = ref (fun _ -> ())
+
+let label rt l =
+  match rt with
+  | Real -> !real_label_hook l
+  | Simulated _ -> if Sim.in_sim () then Sim.step_label l
+
+(* ------------------------------------------------------------------ *)
+(* Thread identity. *)
+
+let dls_self : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let self = function
+  | Real -> Domain.DLS.get dls_self
+  | Simulated _ -> if Sim.in_sim () then Sim.self_tid () else 0
+
+let num_cpus = function
+  | Real -> Domain.recommended_domain_count ()
+  | Simulated s -> Sim.cpus s
+
+let now = function
+  | Real -> Unix.gettimeofday ()
+  | Simulated s ->
+      if Sim.in_sim () then
+        float_of_int (Sim.now_cycles ()) /. (Sim.costs s).Cost.cycles_per_sec
+      else 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Running threads. *)
+
+type run_result = { elapsed : float; sim_result : Sim.result option }
+
+let parallel_run rt bodies =
+  let n = Array.length bodies in
+  if n = 0 then { elapsed = 0.0; sim_result = None }
+  else if n > max_threads then
+    invalid_arg
+      (Printf.sprintf "Rt.parallel_run: %d threads exceeds max_threads=%d" n
+         max_threads)
+  else
+    match rt with
+    | Real ->
+        let t0 = Unix.gettimeofday () in
+        let domains =
+          Array.init n (fun i ->
+              Domain.spawn (fun () ->
+                  Domain.DLS.set dls_self i;
+                  bodies.(i) i))
+        in
+        let failure = ref None in
+        Array.iter
+          (fun d ->
+            match Domain.join d with
+            | () -> ()
+            | exception e -> if !failure = None then failure := Some e)
+          domains;
+        (match !failure with Some e -> raise e | None -> ());
+        { elapsed = Unix.gettimeofday () -. t0; sim_result = None }
+    | Simulated s ->
+        let r = Sim.run s bodies in
+        {
+          elapsed =
+            float_of_int r.Sim.makespan_cycles
+            /. (Sim.costs s).Cost.cycles_per_sec;
+          sim_result = Some r;
+        }

@@ -1,0 +1,125 @@
+(** Execution runtime abstraction.
+
+    Every allocator, lock and workload in this repository is written
+    against this module instead of using [Stdlib.Atomic] / [Domain]
+    directly, so the same code runs in two ways:
+
+    - {!real}: operations map 1:1 onto OCaml 5 multicore primitives
+      ([Atomic], [Domain]); used for genuine-hardware latency measurements
+      (paper Table 1) and for concurrency stress tests.
+    - {!simulated}: operations become events of a deterministic simulated
+      multiprocessor ({!Sim}); used to regenerate the paper's 16-processor
+      scalability figures on this single-CPU container, and to inject
+      thread blocking/killing for the lock-freedom tests.
+
+    Shared words carry a {e cache-line id} so the simulator can model
+    contention and false sharing: words stored in simulated memory derive
+    their line from their address; loose atomics (descriptor anchors, heap
+    Active words, lock words) get a synthetic line from {!fresh_line}. *)
+
+type t
+
+val real : t
+(** The OCaml-multicore-backed runtime. *)
+
+val simulated : Sim.t -> t
+(** A runtime backed by the given simulator instance. *)
+
+val is_sim : t -> bool
+val sim : t -> Sim.t option
+val name : t -> string
+
+val max_threads : int
+(** Upper bound on concurrently running threads (sizes hazard-pointer
+    tables and per-thread slots). *)
+
+(** {2 Atomics} *)
+
+type 'a atomic
+
+module Atomic : sig
+  val make : t -> ?line:int -> 'a -> 'a atomic
+  (** [make rt v] allocates an atomic holding [v]. Under simulation it is
+      placed on cache line [line] (default: a fresh private line). *)
+
+  val get : 'a atomic -> 'a
+  val set : 'a atomic -> 'a -> unit
+
+  val compare_and_set : 'a atomic -> 'a -> 'a -> bool
+  (** CAS with physical (immediate-value) comparison, the analogue of the
+      paper's 64-bit [CAS]. All CASed values in this repository are either
+      immediates (packed words) or heap nodes compared by identity. *)
+
+  val fetch_and_add : int atomic -> int -> int
+  val incr : int atomic -> unit
+end
+
+val fresh_line : unit -> int
+(** A synthetic cache-line id never used by simulated memory. Consecutive
+    calls return distinct lines (no false sharing between them). *)
+
+(** {2 Word access to simulated memory}
+
+    [off] is a byte offset; words are 64-bit little-endian, truncated to
+    OCaml's 63-bit [int] (all stored values fit — see [Mm_mem.Addr]). *)
+
+val read_word : t -> Bytes.t -> int -> line:int -> int
+val write_word : t -> Bytes.t -> int -> line:int -> int -> unit
+
+val touch : t -> line:int -> write:bool -> unit
+(** Charge a plain access without touching host memory (used to model
+    payload traffic whose contents don't matter). *)
+
+val touch_batch : t -> line:int -> write:bool -> count:int -> unit
+(** Charge [count] same-line plain accesses as a single simulated event
+    (one coherence action + [count] cache hits). No-op on the real
+    runtime, where callers perform the real accesses instead. *)
+
+(** {2 Control} *)
+
+val fence : t -> unit
+(** Full barrier. Real: [Atomic.get] on a dummy (seq_cst already dominates
+    OCaml atomics); simulated: charges {!Cost.t.fence}. The paper's
+    explicit fence points call this so their cost is accounted. *)
+
+val cpu_relax : t -> unit
+(** Spin-wait pause (backoff loops). *)
+
+val work : t -> int -> unit
+(** [work rt n] performs [n] units of application-local computation. *)
+
+val yield : t -> unit
+(** Voluntary processor yield. *)
+
+val syscall : t -> unit
+(** Charge one kernel round-trip (simulated mmap/munmap cost). Real: no-op
+    beyond the host's actual work. *)
+
+val label : t -> string -> unit
+(** Named instrumentation point inside lock-free code. Under simulation the
+    scheduler may preempt, block or kill the thread here (fault-injection
+    tests); under the real runtime it calls {!real_label_hook}. *)
+
+val real_label_hook : (string -> unit) ref
+(** Hook invoked by {!label} on the real runtime; defaults to a no-op.
+    Real-runtime stress tests install yield/noise injectors here. *)
+
+val self : t -> int
+(** Dense id of the calling thread: the body index under {!parallel_run},
+    0 on the main thread. *)
+
+val num_cpus : t -> int
+val now : t -> float
+(** Seconds: wall-clock (real) or virtual (simulated). *)
+
+(** {2 Running threads} *)
+
+type run_result = {
+  elapsed : float;  (** wall seconds (real) or virtual seconds (sim) *)
+  sim_result : Sim.result option;  (** simulation counters, if simulated *)
+}
+
+val parallel_run : t -> (int -> unit) array -> run_result
+(** [parallel_run rt bodies] runs [bodies.(i)] as thread [i] to completion:
+    as one [Domain] each on the real runtime, as simulated threads
+    otherwise. Exceptions raised by bodies are re-raised. *)

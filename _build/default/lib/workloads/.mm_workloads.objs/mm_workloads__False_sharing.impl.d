@@ -1,0 +1,1 @@
+lib/workloads/false_sharing.ml: Array Metrics Mm_mem Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/workloads/false_sharing.mli: Metrics Mm_mem

@@ -1,0 +1,1 @@
+lib/workloads/larson.ml: Array Metrics Mm_mem Mm_runtime Prng Rt

@@ -1,0 +1,1 @@
+lib/workloads/larson.mli: Metrics Mm_mem

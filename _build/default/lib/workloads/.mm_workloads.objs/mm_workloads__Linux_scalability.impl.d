@@ -1,0 +1,1 @@
+lib/workloads/linux_scalability.ml: Array Metrics Mm_mem Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/workloads/linux_scalability.mli: Metrics Mm_mem

@@ -1,0 +1,1 @@
+lib/workloads/metrics.ml: Format Mm_mem Mm_runtime Rt Sim

@@ -1,0 +1,1 @@
+lib/workloads/producer_consumer.ml: Array Metrics Mm_lockfree Mm_mem Mm_runtime Prng Rt

@@ -1,0 +1,1 @@
+lib/workloads/producer_consumer.mli: Metrics Mm_mem

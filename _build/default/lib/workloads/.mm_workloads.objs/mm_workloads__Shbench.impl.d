@@ -1,0 +1,1 @@
+lib/workloads/shbench.ml: Array Metrics Mm_mem Mm_runtime Prng Rt

@@ -1,0 +1,1 @@
+lib/workloads/shbench.mli: Metrics Mm_mem

@@ -1,0 +1,1 @@
+lib/workloads/threadtest.ml: Array Metrics Mm_mem Mm_runtime Rt

@@ -1,0 +1,1 @@
+lib/workloads/threadtest.mli: Metrics Mm_mem

@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Array Buffer List Metrics Mm_mem Mm_runtime Printf Prng Rt String

@@ -1,0 +1,45 @@
+open Mm_runtime
+open Mm_mem.Alloc_intf
+
+type params = {
+  pairs : int;
+  size : int;
+  writes_per_byte : int;
+  passive : bool;
+}
+
+let default_active =
+  { pairs = 10_000; size = 8; writes_per_byte = 1_000; passive = false }
+
+let default_passive = { default_active with passive = true }
+
+let quick_active =
+  { pairs = 300; size = 8; writes_per_byte = 100; passive = false }
+
+let quick_passive = { quick_active with passive = true }
+
+let run instance ~threads p =
+  let rt = instance_rt instance in
+  let store = instance_store instance in
+  (* Passive variant: thread 0 allocates everyone's first block up front;
+     each thread frees its handed block before proceeding. *)
+  let handed =
+    if p.passive then
+      Array.init threads (fun _ -> instance_malloc instance p.size)
+    else [||]
+  in
+  let body tid =
+    if p.passive then instance_free instance handed.(tid);
+    for _ = 1 to p.pairs do
+      let a = instance_malloc instance p.size in
+      Mm_mem.Store.write_payload_round store a ~len:p.size
+        ~times:p.writes_per_byte;
+      instance_free instance a
+    done
+  in
+  let run = Rt.parallel_run rt (Array.make threads body) in
+  Metrics.make
+    ~workload:(if p.passive then "passive-false" else "active-false")
+    ~instance ~threads
+    ~ops:(threads * p.pairs)
+    ~run

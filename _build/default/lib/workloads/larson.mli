@@ -1,0 +1,27 @@
+(** Larson (Larson & Krishnan, ISMM 1998; paper §4.1) — a server-style
+    workload. A warmup thread allocates and frees random-sized blocks in
+    random order, then [slots_per_thread] blocks are handed to each
+    thread. In the parallel phase each thread repeatedly picks a random
+    slot, frees the block there, and allocates a new random-sized block
+    ([min_size]–[max_size] bytes) in its place — so blocks are routinely
+    freed by a different thread than the one that allocated them.
+    Captures robustness of latency and scalability under irregular sizes
+    and deallocation order.
+
+    The paper hands out 1024 blocks of 16–80 bytes per thread and runs
+    for 30 seconds; we run a fixed number of [rounds] per thread for
+    determinism and let the harness scale rounds to the budget. *)
+
+type params = {
+  slots_per_thread : int;
+  min_size : int;
+  max_size : int;
+  rounds : int;  (** free/malloc pairs per thread in the parallel phase *)
+  seed : int;
+}
+
+val default : params
+val quick : params
+
+val run :
+  Mm_mem.Alloc_intf.instance -> threads:int -> params -> Metrics.t

@@ -1,0 +1,16 @@
+(** Benchmark 1 of Linux Scalability (Lever & Boreham, FREENIX 2000;
+    paper §4.1): each thread performs [pairs] malloc/free pairs of
+    [size]-byte blocks in a tight loop. Captures allocator latency and
+    scalability under regular private allocation. The paper runs 10
+    million pairs of 8-byte blocks per thread. *)
+
+type params = { pairs : int; size : int }
+
+val default : params
+(** The paper's parameters (10M pairs, 8 bytes). *)
+
+val quick : params
+(** Scaled down for simulation and tests (10k pairs). *)
+
+val run :
+  Mm_mem.Alloc_intf.instance -> threads:int -> params -> Metrics.t

@@ -1,0 +1,42 @@
+open Mm_runtime
+
+type t = {
+  workload : string;
+  allocator : string;
+  runtime : string;
+  threads : int;
+  ops : int;
+  elapsed : float;
+  throughput : float;
+  space : Mm_mem.Space.snapshot;
+  os : Mm_mem.Store.os_stats;
+  sim : Sim.counters option;
+}
+
+let make ~workload ~instance ~threads ~ops ~run =
+  let open Mm_mem.Alloc_intf in
+  let elapsed = run.Rt.elapsed in
+  {
+    workload;
+    allocator = instance_name instance;
+    runtime = Rt.name (instance_rt instance);
+    threads;
+    ops;
+    elapsed;
+    throughput = (if elapsed > 0.0 then float_of_int ops /. elapsed else 0.0);
+    space = instance_space instance;
+    os = Mm_mem.Store.os_stats (instance_store instance);
+    sim = (match run.Rt.sim_result with
+          | Some r -> Some r.Sim.counters
+          | None -> None);
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%-16s %-9s %-4s t=%-2d ops=%-9d elapsed=%.6fs thr=%.3e ops/s peak=%dKB"
+    t.workload t.allocator t.runtime t.threads t.ops t.elapsed t.throughput
+    (t.space.Mm_mem.Space.mapped_peak / 1024)
+
+let speedup t ~baseline =
+  if baseline.throughput > 0.0 then t.throughput /. baseline.throughput
+  else 0.0

@@ -1,0 +1,28 @@
+(** Result record produced by every workload run. *)
+
+type t = {
+  workload : string;
+  allocator : string;
+  runtime : string;  (** "real" or "sim" *)
+  threads : int;
+  ops : int;  (** total work units completed (workload-defined) *)
+  elapsed : float;  (** wall seconds (real) or virtual seconds (sim) *)
+  throughput : float;  (** ops per second *)
+  space : Mm_mem.Space.snapshot;
+  os : Mm_mem.Store.os_stats;
+  sim : Mm_runtime.Sim.counters option;
+}
+
+val make :
+  workload:string ->
+  instance:Mm_mem.Alloc_intf.instance ->
+  threads:int ->
+  ops:int ->
+  run:Mm_runtime.Rt.run_result ->
+  t
+
+val pp : Format.formatter -> t -> unit
+
+val speedup : t -> baseline:t -> float
+(** Throughput ratio against a baseline run (the paper's
+    "speedup over contention-free libc malloc"). *)

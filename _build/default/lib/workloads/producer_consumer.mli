@@ -1,0 +1,35 @@
+(** The paper's lock-free Producer-consumer benchmark (§4.1) — the
+    sharing pattern that breaks naive per-thread allocation: blocks are
+    allocated by one thread and freed by another.
+
+    One producer and [threads - 1] consumers share a lock-free FIFO task
+    queue ({!Mm_lockfree.Ms_queue}). Per task the producer selects a
+    random set of [set_min]–[set_max] database indexes, allocates a block
+    of matching size to record them, a fixed 32-byte task structure and a
+    16-byte queue node (3 mallocs), and enqueues the task. A consumer
+    dequeues, builds histograms over the 1M-item database for the indexes
+    in the task, performs [work] units of task-local computation,
+    allocates a histogram block and releases everything (1 malloc, 4
+    frees). When the queue exceeds [queue_cap] tasks the producer helps
+    by consuming a task itself. With [threads = 1] the producer drains
+    its own queue. *)
+
+type params = {
+  tasks : int;
+  work : int;  (** the paper sweeps 500 / 750 / 1000 *)
+  db_size : int;
+  set_min : int;
+  set_max : int;
+  queue_cap : int;
+  seed : int;
+}
+
+val default : params
+(** work=750, 1M-item database. *)
+
+val quick : params
+
+val with_work : params -> int -> params
+
+val run :
+  Mm_mem.Alloc_intf.instance -> threads:int -> params -> Metrics.t

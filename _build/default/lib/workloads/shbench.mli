@@ -1,0 +1,20 @@
+(** An shbench-style workload (MicroQuill SmartHeap benchmark family):
+    per-thread pools of blocks continuously churned by malloc, realloc to
+    a new random size, and free, across a wide size range. Unlike the
+    paper's six benchmarks this exercises in-place growth decisions and
+    the copy path of realloc under concurrency; included as an extension
+    workload for the derived {!Mm_mem.Alloc_ops} API. *)
+
+type params = {
+  slots : int;  (** live blocks per thread *)
+  rounds : int;  (** operations per thread *)
+  min_size : int;
+  max_size : int;
+  seed : int;
+}
+
+val default : params
+val quick : params
+
+val run :
+  Mm_mem.Alloc_intf.instance -> threads:int -> params -> Metrics.t

@@ -1,0 +1,13 @@
+(** Threadtest (from Hoard; paper §4.1): each thread performs
+    [iterations] rounds of allocating [blocks] [size]-byte blocks and
+    then freeing them in allocation order. Regular private allocation
+    with deep live heaps. The paper runs 100 iterations of 100,000
+    8-byte blocks. *)
+
+type params = { iterations : int; blocks : int; size : int }
+
+val default : params
+val quick : params
+
+val run :
+  Mm_mem.Alloc_intf.instance -> threads:int -> params -> Metrics.t

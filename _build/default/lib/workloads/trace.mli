@@ -1,0 +1,50 @@
+(** Allocation-trace generation and replay.
+
+    A trace is an explicit schedule of malloc/free events partitioned
+    over threads, with cross-thread frees (block allocated by one thread,
+    freed by another — the pattern of §4.1's Producer-consumer and of the
+    server workloads Larson models). Traces are deterministic, can be
+    serialized to a portable text form, and replay against any allocator
+    instance — giving reproducible workloads beyond the paper's six
+    microbenchmarks.
+
+    Replay runs each thread's event list concurrently; a free whose block
+    was allocated by a different thread waits (yielding) until that block
+    has been published. Generated traces free every block, so the heap is
+    quiescent and checkable after a replay. *)
+
+type event =
+  | Malloc of { id : int; size : int; thread : int }
+  | Free of { id : int; thread : int }
+
+type t = {
+  events : event array;  (** in generation (logical) order *)
+  threads : int;
+  mallocs : int;  (** number of Malloc events; ids are [0..mallocs-1] *)
+}
+
+val generate :
+  ?seed:int ->
+  ?threads:int ->
+  ?ops:int ->
+  ?live_target:int ->
+  ?cross_thread_fraction:float ->
+  unit ->
+  t
+(** A birth–death process holding roughly [live_target] blocks live, with
+    a size mixture of small/medium/large requests and the given fraction
+    of frees performed by a thread other than the allocating one.
+    Defaults: seed 1, 4 threads, 2000 ops, 200 live, 0.3 cross-thread.
+    All blocks are freed by the end. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Round-trips with {!to_string}; raises [Failure] on malformed input. *)
+
+val max_live : t -> int
+(** Peak number of simultaneously live blocks. *)
+
+val total_bytes : t -> int
+(** Sum of all requested sizes. *)
+
+val run : Mm_mem.Alloc_intf.instance -> t -> Metrics.t

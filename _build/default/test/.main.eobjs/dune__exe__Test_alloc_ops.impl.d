@@ -1,0 +1,1 @@
+test/test_alloc_ops.ml: Alcotest Array List Mm_mem Mm_runtime Printf Prng Rt Sim Util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Mm_baselines Mm_mem Mm_runtime Option Printf Prng Rt Sim Util

@@ -1,0 +1,1 @@
+test/test_codecs.ml: Alcotest List Mm_core Mm_mem Printf QCheck2 Util

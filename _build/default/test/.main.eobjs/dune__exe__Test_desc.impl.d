@@ -1,0 +1,1 @@
+test/test_desc.ml: Alcotest Array List Mm_core Mm_mem Mm_runtime Option Printf Rt Sim Util

@@ -1,0 +1,1 @@
+test/test_fault_injection.ml: Alcotest Array Domain Fun Hashtbl List Mm_core Mm_mem Mm_runtime Printf Prng Random Rt Sim Util

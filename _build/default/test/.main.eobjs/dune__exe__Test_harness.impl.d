@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Mm_harness String Util

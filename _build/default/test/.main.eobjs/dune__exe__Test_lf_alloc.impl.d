@@ -1,0 +1,1 @@
+test/test_lf_alloc.ml: Alcotest Array Hashtbl List Mm_core Mm_mem Mm_runtime Option Printf Prng Rt Sim Util

@@ -1,0 +1,1 @@
+test/test_lockfree.ml: Alcotest Array List Mm_lockfree Mm_runtime Option Printf Prng QCheck2 Queue Rt Sim Util

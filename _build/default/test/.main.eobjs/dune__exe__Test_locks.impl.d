@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array List Mm_baselines Mm_mem Mm_runtime Printf Prng Rt Sim Util

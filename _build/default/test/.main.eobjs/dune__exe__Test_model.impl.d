@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest List Mm_mem Mm_runtime QCheck2 Rt Util

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array List Mm_runtime Prng QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Array Bytes Cost Mm_runtime Rt Sim Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cost List Mm_runtime Printf Rt Sim Util

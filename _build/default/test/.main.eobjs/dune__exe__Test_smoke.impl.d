@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Array List Mm_core Mm_mem Mm_runtime Rt Sim

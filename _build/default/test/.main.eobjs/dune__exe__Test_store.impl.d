@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array List Mm_mem Mm_runtime Rt Sim Util

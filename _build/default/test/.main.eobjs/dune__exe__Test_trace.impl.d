@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array List Mm_mem Mm_runtime Mm_workloads QCheck2 Rt Util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Mm_core Mm_mem Mm_runtime Mm_workloads Rt Util

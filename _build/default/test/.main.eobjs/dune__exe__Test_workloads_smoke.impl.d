@@ -1,0 +1,1 @@
+test/test_workloads_smoke.ml: Alcotest Format List Mm_harness Mm_mem Mm_runtime Mm_workloads Rt Sim

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Mm_harness Mm_mem Mm_runtime QCheck2 QCheck_alcotest Rt Sim

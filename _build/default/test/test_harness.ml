@@ -1,0 +1,85 @@
+(* Rendering and the experiment harness. *)
+
+module R = Mm_harness.Render
+module E = Mm_harness.Experiments
+open Util
+
+let table_shape () =
+  let lines =
+    R.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check int) "header + separator + rows" 4 (List.length lines);
+  (* All lines equally wide (fixed-width columns). *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let formatting () =
+  Alcotest.(check string) "speedup" "2.50" (R.fmt_speedup 2.5);
+  Alcotest.(check string) "throughput M" "3.00M/s" (R.fmt_throughput 3e6);
+  Alcotest.(check string) "throughput k" "1.5k/s" (R.fmt_throughput 1500.0);
+  Alcotest.(check string) "throughput raw" "500/s" (R.fmt_throughput 500.0);
+  Alcotest.(check string) "ns" "120ns" (R.fmt_ns 120.0);
+  Alcotest.(check string) "KB" "4KB" (R.fmt_bytes 4096);
+  Alcotest.(check string) "MB" "2.0MB" (R.fmt_bytes (2 * 1024 * 1024))
+
+let series_shape () =
+  let lines =
+    R.series ~col_title:"alloc" ~cols:[ "x"; "y" ] ~row_title:"t"
+      ~rows:[ ("1", [ 1.0; 2.0 ]); ("2", [ 3.0; 4.0 ]) ]
+  in
+  Alcotest.(check int) "lines" 4 (List.length lines)
+
+let catalogue_complete () =
+  let ids = List.map fst E.catalogue in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* Every DESIGN.md experiment is present. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("catalogue has " ^ id) true (List.mem id ids))
+    [
+      "table1"; "latency"; "fig8a"; "fig8b"; "fig8c"; "fig8d"; "fig8e";
+      "fig8f"; "fig8g"; "fig8h"; "space"; "uniproc"; "ablation-partial";
+      "ablation-desc"; "ablation-credits"; "ablation-locks"; "ablation-hyper";
+      "preempt"; "extra-workloads"; "tail-latency"; "contention-sites"; "kill";
+    ]
+
+let unknown_rejected () =
+  Alcotest.(check bool) "unknown id" true
+    (match E.run "nonsense" ~mode:E.Quick ~seed:1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let kill_experiment_runs () =
+  let o = E.run "kill" ~mode:E.Quick ~seed:1 in
+  Alcotest.(check string) "id" "kill" o.E.id;
+  Alcotest.(check bool) "has expectation" true
+    (String.length o.E.expectation > 0);
+  Alcotest.(check bool) "has result lines" true (List.length o.E.lines > 2);
+  (* The experiment's substance: the lock-free rows survive, the
+     lock-based libc row does not. *)
+  let body = String.concat "\n" o.E.lines in
+  let contains sub =
+    let n = String.length sub and m = String.length body in
+    let rec go i = i + n <= m && (String.sub body i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "new survives" true (contains "survivors completed");
+  Alcotest.(check bool) "libc stuck" true
+    (contains "LIVELOCK" || contains "DEADLOCK")
+
+let ablation_hyper_runs () =
+  let o = E.run "ablation-hyper" ~mode:E.Quick ~seed:1 in
+  Alcotest.(check bool) "renders" true (List.length o.E.lines >= 4)
+
+let cases =
+  [
+    case "table shape" table_shape;
+    case "formatting" formatting;
+    case "series shape" series_shape;
+    case "catalogue complete" catalogue_complete;
+    case "unknown id rejected" unknown_rejected;
+    slow_case "kill experiment end-to-end" kill_experiment_runs;
+    slow_case "hyper ablation end-to-end" ablation_hyper_runs;
+  ]

@@ -1,0 +1,98 @@
+open Mm_runtime
+open Util
+
+let determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.next a);
+  let b = Prng.copy a in
+  let xs = List.init 10 (fun _ -> Prng.next a) in
+  let ys = List.init 10 (fun _ -> Prng.next b) in
+  Alcotest.(check (list int)) "copy continues identically" xs ys
+
+let split_differs () =
+  let a = Prng.create 9 in
+  let b = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  Alcotest.(check bool) "split stream independent" true (!same < 5)
+
+let int_bounds =
+  qcheck "int within bound"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let int_in_bounds =
+  qcheck "int_in within range"
+    QCheck2.Gen.(triple (int_range 0 1000) (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let g = Prng.create seed in
+      let v = Prng.int_in g lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let float_bounds =
+  qcheck "float within bound" QCheck2.Gen.(int_range 0 1000) (fun seed ->
+      let g = Prng.create seed in
+      let v = Prng.float g 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let shuffle_permutes =
+  qcheck "shuffle is a permutation"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 50))
+    (fun (seed, n) ->
+      let g = Prng.create seed in
+      let a = Array.init n (fun i -> i) in
+      Prng.shuffle g a;
+      List.sort compare (Array.to_list a) = List.init n (fun i -> i))
+
+let int_rejects_bad_bound () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument
+    "Prng.int: bound must be positive") (fun () -> ignore (Prng.int g 0))
+
+let rough_uniformity () =
+  (* 10k draws over 10 buckets: each bucket within 3x of expectation. *)
+  let g = Prng.create 123 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 || c > 1400 then
+        Alcotest.failf "bucket %d has suspicious count %d" i c)
+    buckets
+
+let cases =
+  [
+    case "determinism" determinism;
+    case "seeds differ" seeds_differ;
+    case "copy independent" copy_independent;
+    case "split differs" split_differs;
+    case "int rejects bad bound" int_rejects_bad_bound;
+    case "rough uniformity" rough_uniformity;
+    int_bounds;
+    int_in_bounds;
+    float_bounds;
+    shuffle_permutes;
+  ]

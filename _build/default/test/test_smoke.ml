@@ -1,0 +1,76 @@
+(* Early end-to-end smoke tests for the lock-free allocator on both
+   runtimes; the full suites live in the test_* modules. *)
+
+open Mm_runtime
+module Cfg = Mm_mem.Alloc_config
+module A = Mm_core.Lf_alloc
+
+let cfg = Cfg.make ~nheaps:4 ()
+
+let seq_malloc_free rt () =
+  let t = A.create rt cfg in
+  let addrs = Array.init 100 (fun i -> A.malloc t (8 * (1 + (i mod 16)))) in
+  let distinct = List.sort_uniq compare (Array.to_list addrs) in
+  Alcotest.(check int) "distinct addresses" 100 (List.length distinct);
+  (* Payload integrity: write a stamp in each block, read all back. *)
+  Array.iteri (fun i a -> Mm_mem.Store.write_word (A.store t) a (i * 7)) addrs;
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check int)
+        "payload intact" (i * 7)
+        (Mm_mem.Store.read_word (A.store t) a))
+    addrs;
+  Array.iter (A.free t) addrs;
+  A.check_invariants t
+
+let seq_real () = seq_malloc_free Rt.real ()
+
+let seq_sim () =
+  let sim = Sim.create ~cpus:4 () in
+  let rt = Rt.simulated sim in
+  let t = A.create rt cfg in
+  let r =
+    Sim.run sim
+      [|
+        (fun _ ->
+          let addrs = Array.init 50 (fun i -> A.malloc t (16 * (1 + (i mod 8)))) in
+          Array.iter (A.free t) addrs);
+      |]
+  in
+  Alcotest.(check bool) "made progress" true (r.Sim.makespan_cycles > 0);
+  A.check_invariants t
+
+let par_sim () =
+  let sim = Sim.create ~cpus:8 ~seed:42 () in
+  let rt = Rt.simulated sim in
+  let t = A.create rt cfg in
+  let body _ =
+    let addrs = Array.init 200 (fun i -> A.malloc t (8 * (1 + (i mod 20)))) in
+    Array.iter (A.free t) addrs
+  in
+  ignore (Sim.run sim (Array.make 8 body));
+  A.check_invariants t;
+  let m, f = A.op_counts t in
+  Alcotest.(check int) "mallocs" (8 * 200) m;
+  Alcotest.(check int) "frees" (8 * 200) f
+
+let par_real () =
+  let t = A.create Rt.real cfg in
+  let body _ =
+    for round = 1 to 20 do
+      let addrs =
+        Array.init 50 (fun i -> A.malloc t (8 * (1 + ((i + round) mod 20))))
+      in
+      Array.iter (A.free t) addrs
+    done
+  in
+  ignore (Rt.parallel_run Rt.real (Array.make 4 body));
+  A.check_invariants t
+
+let cases =
+  [
+    Alcotest.test_case "seq real" `Quick seq_real;
+    Alcotest.test_case "seq sim" `Quick seq_sim;
+    Alcotest.test_case "par sim" `Quick par_sim;
+    Alcotest.test_case "par real" `Quick par_real;
+  ]

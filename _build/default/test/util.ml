@@ -1,0 +1,37 @@
+(* Shared helpers for the test suites. *)
+
+open Mm_runtime
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+(* A small simulated machine for concurrency tests. *)
+let sim ?(cpus = 4) ?(seed = 1) ?(max_cycles = 2_000_000_000) ?on_label () =
+  match on_label with
+  | Some on_label -> Sim.create ~cpus ~seed ~max_cycles ~on_label ()
+  | None -> Sim.create ~cpus ~seed ~max_cycles ()
+
+let run_sim ?cpus ?seed ?max_cycles ?on_label bodies =
+  let s = sim ?cpus ?seed ?max_cycles ?on_label () in
+  Sim.run s bodies
+
+(* Fresh allocator instances on either runtime. *)
+let instance ?(cfg = Mm_mem.Alloc_config.default) name rt =
+  Mm_harness.Allocators.make name rt cfg
+
+let all_allocators = Mm_harness.Allocators.names
+
+(* Fuzzing helper: run [mk_bodies] under several simulated schedules and
+   apply [check] after each. *)
+let fuzz_schedules ?(cpus = 4) ?(seeds = 10) ?(max_cycles = 2_000_000_000)
+    ~mk ~check () =
+  for seed = 1 to seeds do
+    let s = sim ~cpus ~seed ~max_cycles () in
+    let ctx, bodies = mk (Rt.simulated s) in
+    let r = Sim.run s bodies in
+    check ~seed ctx r
+  done
