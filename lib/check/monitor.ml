@@ -1,0 +1,86 @@
+open Mm_runtime
+
+type mode = Kill | Stall
+
+type entry = {
+  label : string;
+  mode : mode;
+  round : int;
+  fired : bool;
+  result : (unit, string) result;
+}
+
+type report = { entries : entry list; ok : bool }
+
+let mode_name = function Kill -> "kill" | Stall -> "stall"
+
+let run_with target ~threads ~on_label ~notify_done ~quiescent_checks
+    strategy =
+  let idx = ref 0 in
+  let sched sp =
+    let c = strategy sp !idx in
+    incr idx;
+    if List.mem c sp.Sim.sp_runnable then c else Explore.default_choice sp
+  in
+  target.Target.run ~threads ~on_label ~notify_done ~quiescent_checks
+    ~sched ()
+
+(* One run: the first thread to reach [label] is killed, or stalled
+   until every other thread has completed its whole workload (the
+   paper's availability claim: no thread's progress may depend on
+   another's — a stalled run that deadlocks, or a kill run whose
+   survivors never finish, falsifies it). Round 0 uses the default
+   schedule; later rounds a seeded uniformly random one, so the victim
+   leaves its partial state behind under varied interleavings. *)
+let probe (target : Target.t) ~threads ~label ~mode ~round =
+  let fired = ref false in
+  let victim = ref (-1) in
+  let finished = Array.make threads false in
+  let others_done () =
+    let ok = ref true in
+    Array.iteri
+      (fun i f -> if i <> !victim && not f then ok := false)
+      finished;
+    !ok
+  in
+  let on_label ~tid l =
+    if l = label && not !fired then begin
+      fired := true;
+      victim := tid;
+      match mode with
+      | Kill -> Sim.Kill
+      | Stall -> Sim.Block_until others_done
+    end
+    else Sim.Continue
+  in
+  let rng = Prng.create ((round * 6361) + 1) in
+  let strategy (sp : Sim.sched_point) _idx =
+    if round = 0 then Explore.default_choice sp
+    else
+      List.nth sp.Sim.sp_runnable
+        (Prng.int rng (List.length sp.Sim.sp_runnable))
+  in
+  let notify_done tid = finished.(tid) <- true in
+  let result =
+    run_with target ~threads ~on_label ~notify_done
+      ~quiescent_checks:(mode <> Kill) strategy
+  in
+  { label; mode; round; fired = !fired; result }
+
+let run (target : Target.t) ~threads ~modes ~rounds =
+  let entries = ref [] in
+  List.iter
+    (fun label ->
+      List.iter
+        (fun mode ->
+          for round = 0 to rounds - 1 do
+            entries :=
+              probe target ~threads ~label ~mode ~round :: !entries
+          done)
+        modes)
+    target.Target.labels;
+  let entries = List.rev !entries in
+  let ok =
+    List.for_all (fun e -> (not e.fired) || Result.is_ok e.result) entries
+  in
+  { entries; ok }

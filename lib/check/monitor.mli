@@ -1,0 +1,37 @@
+(** Lock-freedom monitor: fault injection at every instrumentation label
+    of a target, under the explorer's controlled schedules.
+
+    For each label of [target.labels], the first thread to reach it is
+    either killed or stalled until every other thread has finished its
+    whole workload. Lock-freedom demands the remaining threads complete
+    either way; a deadlock, livelock or oracle violation in the
+    remainder of the run falsifies it. This is the same claim the
+    fault-injection test-suite checks for the full allocator, made
+    available per-target and per-schedule from the [check] CLI. *)
+
+type mode = Kill | Stall
+
+type entry = {
+  label : string;
+  mode : mode;
+  round : int;  (** 0 = default schedule, >0 = seeded random schedule *)
+  fired : bool;  (** whether the workload reached the label at all *)
+  result : (unit, string) result;
+}
+
+type report = {
+  entries : entry list;
+  ok : bool;  (** every entry that fired completed cleanly *)
+}
+
+val mode_name : mode -> string
+
+val probe :
+  Target.t ->
+  threads:int ->
+  label:string ->
+  mode:mode ->
+  round:int ->
+  entry
+
+val run : Target.t -> threads:int -> modes:mode list -> rounds:int -> report

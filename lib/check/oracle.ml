@@ -1,0 +1,134 @@
+(* Specification oracles replayed online against the history the
+   controlled scheduler produces. Under simulation every thread segment
+   executes on one host thread, so recording an event right next to the
+   operation it brackets (with no Rt operation in between) observes the
+   history in true execution order — no extra synchronization, and no
+   perturbation of the schedule being explored. *)
+
+exception Violation of string
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+(* Allocator correctness as address-interval exclusivity: between a
+   malloc returning address [a] and a free of [a] taking effect, no other
+   malloc may return [a]. Frees are not atomic events from the client's
+   viewpoint — the linearization point lies somewhere between invocation
+   and response — so an in-flight free is allowed to explain a re-issue
+   of its address: the oracle then commits that free to "linearized
+   before the malloc". Each in-flight free can explain at most one
+   re-issue; a malloc returning a live address with no unconsumed
+   in-flight free is a genuine double allocation (the ABA symptom). *)
+
+type pending = { p_addr : int; mutable consumed : bool }
+type cell = { mutable live : bool; mutable inflight : pending list }
+
+type alloc = { cells : (int, cell) Hashtbl.t }
+
+let create_alloc () = { cells = Hashtbl.create 64 }
+
+let cell t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> c
+  | None ->
+      let c = { live = false; inflight = [] } in
+      Hashtbl.add t.cells addr c;
+      c
+
+let malloc_returned t addr =
+  let c = cell t addr in
+  if not c.live then c.live <- true
+  else
+    match List.find_opt (fun p -> not p.consumed) c.inflight with
+    | Some p -> p.consumed <- true
+    | None ->
+        violation "malloc returned address %#x which is already allocated"
+          addr
+
+let free_invoked t addr =
+  let c = cell t addr in
+  if not c.live then
+    violation "free invoked on non-live address %#x" addr;
+  let p = { p_addr = addr; consumed = false } in
+  c.inflight <- c.inflight @ [ p ];
+  p
+
+let free_returned t p =
+  let c = cell t p.p_addr in
+  c.inflight <- List.filter (fun q -> q != p) c.inflight;
+  if not p.consumed then c.live <- false
+
+let live_count t =
+  Hashtbl.fold (fun _ c n -> if c.live then n + 1 else n) t.cells 0
+
+(* Exclusive ownership of integer-identified resources (descriptor ids):
+   a resource handed to one thread must not be handed to another before
+   it is released. *)
+
+type ownership = { held : (int, int) Hashtbl.t (* id -> holder tid *) }
+
+let create_ownership () = { held = Hashtbl.create 16 }
+
+let acquire t ~tid id =
+  match Hashtbl.find_opt t.held id with
+  | Some other ->
+      violation "resource %d handed to thread %d while thread %d holds it"
+        id tid other
+  | None -> Hashtbl.replace t.held id tid
+
+let release t ~tid id =
+  match Hashtbl.find_opt t.held id with
+  | Some holder when holder = tid -> Hashtbl.remove t.held id
+  | Some holder ->
+      violation "thread %d released resource %d held by thread %d" tid id
+        holder
+  | None -> violation "thread %d released unheld resource %d" tid id
+
+let held_count t = Hashtbl.length t.held
+
+(* FIFO-queue checking, per producer: values dequeued at most once, only
+   ever values that were enqueued, and two values enqueued by the same
+   producer are dequeued in enqueue order (a linearizability-necessary
+   condition that needs no linearization-point search). *)
+
+type fifo = {
+  mutable enq : (int * int) list; (* producer, value — reverse order *)
+  mutable deq : (int * int) list; (* producer, value — reverse order *)
+  seen : (int * int, unit) Hashtbl.t;
+}
+
+let create_fifo () = { enq = []; deq = []; seen = Hashtbl.create 64 }
+
+let enqueued t ~tid v = t.enq <- (tid, v) :: t.enq
+
+let dequeued t ~producer v =
+  if Hashtbl.mem t.seen (producer, v) then
+    violation "value %d of producer %d dequeued twice" v producer;
+  Hashtbl.replace t.seen (producer, v) ();
+  t.deq <- (producer, v) :: t.deq
+
+let fifo_check t =
+  let enq = List.rev t.enq and deq = List.rev t.deq in
+  List.iter
+    (fun (p, v) ->
+      if not (List.mem (p, v) enq) then
+        violation "dequeued value %d of producer %d was never enqueued" v p)
+    deq;
+  (* Per-producer order: the dequeued subsequence of each producer must
+     appear in its enqueue order. *)
+  let producers = List.sort_uniq compare (List.map fst enq) in
+  List.iter
+    (fun p ->
+      let order = List.filter_map
+          (fun (q, v) -> if q = p then Some v else None) enq in
+      let got = List.filter_map
+          (fun (q, v) -> if q = p then Some v else None) deq in
+      let rec subseq xs = function
+        | [] -> true
+        | y :: ys -> (
+            match xs with
+            | [] -> false
+            | x :: rest -> if x = y then subseq rest ys else subseq rest (y :: ys))
+      in
+      if not (subseq order got) then
+        violation "producer %d's values dequeued out of FIFO order" p)
+    producers

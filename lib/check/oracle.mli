@@ -1,0 +1,62 @@
+(** Specification oracles for the schedule explorer.
+
+    Oracles are driven online: targets call the recording functions
+    immediately around the operations they bracket. Under the controlled
+    simulator the whole run executes on one host thread, so this observes
+    the true execution order without perturbing the schedule. A violated
+    specification raises {!Violation}, which aborts the run and surfaces
+    as the counterexample the explorer then shrinks. *)
+
+exception Violation of string
+
+(** {2 Allocator histories}
+
+    Address-exclusivity checking: between a [malloc] returning address
+    [a] and a [free] of [a] taking effect, no other [malloc] may return
+    [a]. A free is an interval, not a point — an in-flight free (invoked,
+    not yet returned) may have linearized already, so it can explain one
+    re-issue of its address; the oracle consumes it when it does. A
+    malloc returning a live address with no in-flight free to consume is
+    a double allocation (the ABA symptom the planted bug produces). Also
+    rejects frees of non-live addresses. Kill-tolerant: a thread killed
+    mid-free leaves its pending free in flight forever, which is exactly
+    the uncertainty the specification allows. *)
+
+type alloc
+type pending
+
+val create_alloc : unit -> alloc
+
+val malloc_returned : alloc -> int -> unit
+(** Record a malloc response. Raises {!Violation} on double allocation. *)
+
+val free_invoked : alloc -> int -> pending
+(** Record a free invocation; pair with {!free_returned}. Raises
+    {!Violation} if the address is not currently allocated. *)
+
+val free_returned : alloc -> pending -> unit
+
+val live_count : alloc -> int
+
+(** {2 Exclusive ownership} — descriptor-pool checking: an id handed out
+    by [alloc] must not be handed out again before it is retired. *)
+
+type ownership
+
+val create_ownership : unit -> ownership
+val acquire : ownership -> tid:int -> int -> unit
+val release : ownership -> tid:int -> int -> unit
+val held_count : ownership -> int
+
+(** {2 FIFO queues} — per-producer checking for the MS queue: no value
+    dequeued twice or from thin air, and each producer's values leave in
+    enqueue order. *)
+
+type fifo
+
+val create_fifo : unit -> fifo
+val enqueued : fifo -> tid:int -> int -> unit
+val dequeued : fifo -> producer:int -> int -> unit
+
+val fifo_check : fifo -> unit
+(** Run the end-of-history checks. Raises {!Violation}. *)

@@ -1,0 +1,53 @@
+(* A schedule is stored as its deviations from the default scheduling
+   policy ("keep running the current thread; at a fork pick the smallest
+   runnable tid"). Everything the explorer manipulates — bounding,
+   enumeration order, shrinking, the replay format — works on this sparse
+   representation, so a minimized counterexample reads as "at decision
+   point 7 switch to thread 2, at 12 to thread 0" rather than as an
+   opaque full decision vector. *)
+
+type deviation = { at : int; tid : int }
+
+type t = deviation list (* strictly increasing [at] *)
+
+let empty = []
+let deviations t = t
+let length = List.length
+let last_at t = List.fold_left (fun _ d -> d.at) (-1) t
+
+let add t ~at ~tid =
+  if at < 0 || tid < 0 then invalid_arg "Schedule.add: negative field";
+  if at <= last_at t then invalid_arg "Schedule.add: non-increasing index";
+  t @ [ { at; tid } ]
+
+let find t at =
+  List.find_map (fun d -> if d.at = at then Some d.tid else None) t
+
+let remove_nth t n = List.filteri (fun i _ -> i <> n) t
+
+let to_string t =
+  String.concat ","
+    (List.map (fun d -> Printf.sprintf "%d:%d" d.at d.tid) t)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then []
+  else
+    let parse_one part =
+      match String.split_on_char ':' (String.trim part) with
+      | [ a; tid ] -> (
+          match (int_of_string_opt a, int_of_string_opt tid) with
+          | Some at, Some tid when at >= 0 && tid >= 0 -> { at; tid }
+          | _ -> invalid_arg ("Schedule.of_string: bad deviation " ^ part))
+      | _ -> invalid_arg ("Schedule.of_string: bad deviation " ^ part)
+    in
+    let ds = List.map parse_one (String.split_on_char ',' s) in
+    let rec check_incr prev = function
+      | [] -> ()
+      | d :: rest ->
+          if d.at <= prev then
+            invalid_arg "Schedule.of_string: indices must increase";
+          check_incr d.at rest
+    in
+    check_incr (-1) ds;
+    ds

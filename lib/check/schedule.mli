@@ -1,0 +1,35 @@
+(** Sparse schedules for the explorer: a schedule is the list of points
+    where it deviates from the default policy ("keep running the current
+    thread; at a fork pick the smallest runnable tid").
+
+    [at] numbers the scheduling decision points of a run from 0; the run
+    is replayable because controlled-mode {!Mm_runtime.Sim} runs are pure
+    functions of (config, bodies, decisions). The textual form is
+    ["at:tid,at:tid,..."], e.g. ["7:2,12:0"]; the empty string is the
+    default schedule. *)
+
+type deviation = { at : int; tid : int }
+
+type t
+
+val empty : t
+val deviations : t -> deviation list
+val length : t -> int
+
+val last_at : t -> int
+(** Index of the last deviation, [-1] if none. The exhaustive explorer
+    only branches at indices beyond this, which makes its enumeration of
+    deviation sets duplicate-free. *)
+
+val add : t -> at:int -> tid:int -> t
+(** Append a deviation; [at] must exceed {!last_at}. *)
+
+val find : t -> int -> int option
+(** The deviating tid at decision point [at], if any. *)
+
+val remove_nth : t -> int -> t
+(** Drop the [n]-th deviation (shrinking). *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Invalid_argument] on malformed input. *)

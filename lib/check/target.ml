@@ -1,0 +1,193 @@
+open Mm_runtime
+module A = Mm_core.Lf_alloc
+module Labels = Mm_core.Labels
+module Lf_labels = Mm_lockfree.Lf_labels
+module Q = Mm_lockfree.Ms_queue
+module Cfg = Mm_mem.Alloc_config
+
+type t = {
+  name : string;
+  doc : string;
+  default_threads : int;
+  labels : string list;
+  run :
+    threads:int ->
+    ?on_label:(tid:int -> string -> Sim.action) ->
+    ?notify_done:(int -> unit) ->
+    ?quiescent_checks:bool ->
+    sched:(Sim.sched_point -> int) ->
+    unit ->
+    (unit, string) result;
+}
+
+(* Every run uses a fresh simulator instance, so a (target, threads,
+   decisions) triple is a pure function — the property replay relies on.
+   Cycles still accumulate in controlled mode; the budget below is far
+   above anything these tiny bodies reach, so hitting it means livelock. *)
+let max_cycles = 10_000_000_000
+
+let make_sim ~threads ?on_label ~sched () =
+  let cpus = max threads 1 in
+  match on_label with
+  | Some on_label -> Sim.create ~cpus ~max_cycles ~on_label ~sched ()
+  | None -> Sim.create ~cpus ~max_cycles ~sched ()
+
+let guarded f =
+  try
+    f ();
+    Ok ()
+  with
+  | Oracle.Violation msg -> Error ("violation: " ^ msg)
+  | Sim.Deadlock msg -> Error ("deadlock: " ^ msg)
+  | Sim.Progress_timeout msg -> Error ("livelock: " ^ msg)
+  | Failure msg -> Error ("invariant: " ^ msg)
+
+let spawn s ~threads ?notify_done body =
+  let wrap tid _ =
+    body tid;
+    match notify_done with Some f -> f tid | None -> ()
+  in
+  ignore (Sim.run s (Array.init threads wrap))
+
+(* The allocator target: every thread mallocs three blocks and frees
+   them, all in one processor heap with maxcredits=2 and an eagerly
+   scanning descriptor pool, so reserving, credit return, FULL/EMPTY
+   transitions and descriptor recycling all happen within a handful of
+   operations — the smallest workload whose schedule space contains the
+   tag-protected ABA window. *)
+let alloc_cfg ~anchor_tag =
+  (* store_capacity is tiny because the explorer builds a fresh heap per
+     execution and runs tens of thousands of them. *)
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:2 ~desc_scan_threshold:1
+    ~store_capacity:128 ~anchor_tag ()
+
+let alloc_run ~anchor_tag ~threads ?on_label ?notify_done
+    ?(quiescent_checks = true) ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let t = A.create rt (alloc_cfg ~anchor_tag) in
+  let orc = Oracle.create_alloc () in
+  let m () =
+    let a = A.malloc t 8 in
+    Oracle.malloc_returned orc a;
+    a
+  in
+  let f a =
+    let p = Oracle.free_invoked orc a in
+    A.free t a;
+    Oracle.free_returned orc p
+  in
+  let body _tid =
+    let w = m () in
+    let a = m () in
+    let b = m () in
+    f w;
+    f a;
+    f b
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks then A.check_invariants t)
+
+let lf_alloc =
+  {
+    name = "lf_alloc";
+    doc = "the paper's allocator; malloc/free exclusivity + invariants";
+    default_threads = 2;
+    labels = Labels.all;
+    run = (fun ~threads -> alloc_run ~anchor_tag:true ~threads);
+  }
+
+let lf_alloc_notag =
+  {
+    name = "lf_alloc_notag";
+    doc = "planted bug: anchor tag disabled, ABA on the pop CAS";
+    default_threads = 2;
+    labels = Labels.all;
+    run = (fun ~threads -> alloc_run ~anchor_tag:false ~threads);
+  }
+
+(* MS queue target: per-thread enqueue/dequeue bursts checked against the
+   per-producer FIFO oracle. Enqueues are recorded before invocation
+   (so a concurrent dequeue of the value is never "thin air"), dequeues
+   after response. *)
+let queue_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
+    ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let q = Q.create rt in
+  let orc = Oracle.create_fifo () in
+  let enq tid v =
+    Oracle.enqueued orc ~tid v;
+    Q.enqueue q v
+  in
+  let deq () =
+    match Q.dequeue q with
+    | Some v -> Oracle.dequeued orc ~producer:(v / 1000) v
+    | None -> ()
+  in
+  let body tid =
+    let v i = (tid * 1000) + i in
+    enq tid (v 0);
+    enq tid (v 1);
+    deq ();
+    enq tid (v 2);
+    deq ();
+    deq ()
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks then Oracle.fifo_check orc)
+
+let ms_queue =
+  {
+    name = "ms_queue";
+    doc = "Michael-Scott queue; per-producer FIFO oracle";
+    default_threads = 2;
+    labels =
+      Lf_labels.
+        [ msq_enq_cas; msq_enq_swing; msq_deq_cas; msq_deq_help ];
+    run = queue_run;
+  }
+
+(* Descriptor-pool target: threads alloc and retire descriptors through
+   the hazard-pointer pool (batch 2, scan threshold 1, so recycling is
+   immediate); the ownership oracle rejects the same descriptor being
+   handed to two threads at once. *)
+let pool_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
+    ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let table = Mm_core.Descriptor.create_table rt ~capacity:256 in
+  let pool =
+    Mm_core.Desc_pool.create rt table ~kind:Cfg.Hazard ~batch_size:2
+      ~scan_threshold:1 ()
+  in
+  let own = Oracle.create_ownership () in
+  let body tid =
+    for _ = 1 to 3 do
+      let d = Mm_core.Desc_pool.alloc pool in
+      Oracle.acquire own ~tid d.Mm_core.Descriptor.id;
+      Rt.yield rt;
+      Oracle.release own ~tid d.Mm_core.Descriptor.id;
+      Mm_core.Desc_pool.retire pool d
+    done
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks && Oracle.held_count own <> 0 then
+        failwith "descriptors still held at quiescence")
+
+let desc_pool =
+  {
+    name = "desc_pool";
+    doc = "hazard-pointer descriptor pool; exclusive-ownership oracle";
+    default_threads = 2;
+    labels =
+      Labels.[ desc_alloc; desc_refill; desc_retire; desc_push ];
+    run = pool_run;
+  }
+
+let all = [ lf_alloc; lf_alloc_notag; ms_queue; desc_pool ]
+
+let find name = List.find_opt (fun t -> t.name = name) all

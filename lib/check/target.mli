@@ -1,0 +1,48 @@
+(** Checkable systems under test.
+
+    A target bundles a structure, a small oracle-instrumented workload
+    over it, and the instrumentation labels at which its schedules
+    branch. [run] builds a {e fresh} simulator in controlled mode and
+    executes the workload under the given strategy, so a (target,
+    threads, decisions) triple determines the run completely — the
+    explorer's replay guarantee. *)
+
+type t = {
+  name : string;
+  doc : string;
+  default_threads : int;
+  labels : string list;
+      (** instrumentation points relevant to this target (for the
+          lock-freedom monitor) *)
+  run :
+    threads:int ->
+    ?on_label:(tid:int -> string -> Mm_runtime.Sim.action) ->
+    ?notify_done:(int -> unit) ->
+    ?quiescent_checks:bool ->
+    sched:(Mm_runtime.Sim.sched_point -> int) ->
+    unit ->
+    (unit, string) result;
+      (** [Error] carries an oracle violation, invariant failure,
+          deadlock or livelock diagnostic. [on_label] injects faults (it
+          applies before the strategy is consulted); [notify_done tid]
+          is called as each thread body completes, which is how the
+          monitor expresses "stall until every other thread is done";
+          [quiescent_checks] (default true) runs the end-of-run
+          invariant/conservation checks — disable for kill runs, after
+          which quiescent invariants legitimately do not hold. *)
+}
+
+val lf_alloc : t
+(** The paper's allocator (tagged anchors): one shared processor heap,
+    maxcredits 2, eager descriptor recycling; three malloc/free per
+    thread under the address-exclusivity oracle. Expected clean. *)
+
+val lf_alloc_notag : t
+(** Same workload with {!Mm_mem.Alloc_config.t.anchor_tag} off — the
+    deliberately planted ABA bug the explorer must find. *)
+
+val ms_queue : t
+val desc_pool : t
+
+val all : t list
+val find : string -> t option

@@ -18,20 +18,25 @@ type t = {
 }
 
 (* Raw Treiber push over the descriptors' own next_d links. Safe without
-   tags: only pops can complete erroneously under ABA (paper [8]). *)
+   tags: only pops can complete erroneously under ABA (paper [8]). This is
+   the push CAS of Fig. 7's DescRetire, reached here via hazard-pointer
+   reclamation. *)
 let rec raw_push rt head d =
   let old = Rt.Atomic.get head in
   d.Descriptor.next_d <- old;
   Rt.fence rt;
+  Rt.label rt Labels.desc_push;
   if not (Rt.Atomic.compare_and_set head old (Some d)) then raw_push rt head d
 
-let create rt table ~kind ?(batch_size = 64) () =
+let create rt table ~kind ?(batch_size = 64) ?scan_threshold () =
   if batch_size < 1 then invalid_arg "Desc_pool.create: batch_size";
   let variant =
     match kind with
     | Mm_mem.Alloc_config.Hazard ->
         let head = Rt.Atomic.make rt None in
-        let hp = Hp.create rt ~reuse:(fun d -> raw_push rt head d) in
+        let hp =
+          Hp.create ?scan_threshold rt ~reuse:(fun d -> raw_push rt head d)
+        in
         Hazard_v { head; hp }
     | Mm_mem.Alloc_config.Tagged ->
         Tagged_v
@@ -96,6 +101,7 @@ let hazard_refill t p =
             None
           end
       | Some _ ->
+          Rt.label t.rt Labels.desc_refill;
           if Rt.Atomic.compare_and_set p.head None chain then Some kept
           else begin
             Descriptor.discard t.table kept;

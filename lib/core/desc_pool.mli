@@ -25,9 +25,13 @@ val create :
   Descriptor.table ->
   kind:Mm_mem.Alloc_config.desc_pool_kind ->
   ?batch_size:int ->
+  ?scan_threshold:int ->
   unit ->
   t
-(** Default [batch_size]: 64. *)
+(** Default [batch_size]: 64. [scan_threshold] overrides the hazard-pointer
+    scan threshold (ignored by the tagged variant); small values make
+    descriptor recycling frequent, which the checking subsystem relies on
+    to exercise the reclamation path. *)
 
 val alloc : t -> Descriptor.t
 (** Pop a descriptor, allocating a fresh batch if none is available. The

@@ -3,16 +3,21 @@ let ma_reserved = "ma.reserved"
 let ma_pop_cas = "ma.pop_cas"
 let ma_popped = "ma.popped"
 let ua_install = "ua.install"
+let ua_credits_cas = "ua.credits_cas"
 let ua_return_credits = "ua.return_credits"
 let mp_got_partial = "mp.got_partial"
 let mp_reserve_cas = "mp.reserve_cas"
 let mp_pop_cas = "mp.pop_cas"
+let hgp_slot_cas = "hgp.slot_cas"
 let mnsb_install = "mnsb.install"
 let free_cas = "free.cas"
 let free_empty = "free.empty"
 let free_put_partial = "free.put_partial"
+let red_slot_cas = "red.slot_cas"
 let desc_alloc = "desc.alloc"
+let desc_refill = "desc.refill"
 let desc_retire = "desc.retire"
+let desc_push = "desc.push"
 
 let all =
   [
@@ -21,14 +26,19 @@ let all =
     ma_pop_cas;
     ma_popped;
     ua_install;
+    ua_credits_cas;
     ua_return_credits;
     mp_got_partial;
     mp_reserve_cas;
     mp_pop_cas;
+    hgp_slot_cas;
     mnsb_install;
     free_cas;
     free_empty;
     free_put_partial;
+    red_slot_cas;
     desc_alloc;
+    desc_refill;
     desc_retire;
+    desc_push;
   ]

@@ -4,8 +4,19 @@
     thread may be {e arbitrarily delayed or killed} without blocking other
     threads. The allocator calls [Rt.label] at each; under simulation the
     fault-injection tests pause or kill a victim thread at every one of
-    them and assert system-wide progress (DESIGN.md §6). Zero cost on the
-    real runtime unless a hook is installed. *)
+    them and assert system-wide progress (DESIGN.md §6), and [lib/check]'s
+    schedule explorer uses them as context-switch points. Zero cost on the
+    real runtime unless a hook is installed.
+
+    Audit discipline (Figs. 4-7 of the paper): {e every} CAS retry loop in
+    MallocFromActive / MallocFromPartial / MallocFromNewSB / UpdateActive /
+    HeapGetPartial / HeapPutPartial / RemoveEmptyDesc / free / DescAlloc /
+    DescRetire carries a label between reading the shared word and the CAS
+    on it, so an adversarial scheduler can interpose at every overlapping
+    read-modify-write window. [all] must list every label; the checker and
+    the fault-injection suites iterate it. The lock-free building blocks
+    (MS queue, Treiber stack, tagged id stack) carry their own labels in
+    [Mm_lockfree.Lf_labels]. *)
 
 val ma_read_active : string
 (** MallocFromActive: read Active, before the reservation CAS. *)
@@ -22,8 +33,13 @@ val ma_popped : string
 val ua_install : string
 (** UpdateActive: before the CAS reinstalling the superblock. *)
 
+val ua_credits_cas : string
+(** UpdateActive: install failed, inside the credit-return loop, before
+    the anchor CAS (Fig. 4 UpdateActive lines 4-8). *)
+
 val ua_return_credits : string
-(** UpdateActive: install failed, before returning credits to the anchor. *)
+(** UpdateActive: install failed, credits returned, before parking the
+    superblock in the Partial slot. *)
 
 val mp_got_partial : string
 (** MallocFromPartial: obtained a partial descriptor. *)
@@ -33,6 +49,10 @@ val mp_reserve_cas : string
 
 val mp_pop_cas : string
 (** MallocFromPartial: before the reserved-block pop CAS. *)
+
+val hgp_slot_cas : string
+(** HeapGetPartial: before the CAS taking the descriptor out of the
+    heap's Partial slot. *)
 
 val mnsb_install : string
 (** MallocFromNewSB: before the CAS installing the new superblock. *)
@@ -46,11 +66,23 @@ val free_empty : string
 val free_put_partial : string
 (** HeapPutPartial: before the Partial-slot swap CAS. *)
 
+val red_slot_cas : string
+(** RemoveEmptyDesc: before the CAS clearing the heap's Partial slot. *)
+
 val desc_alloc : string
 (** DescAlloc: before the freelist pop CAS. *)
 
+val desc_refill : string
+(** DescAlloc: freelist empty, before the CAS installing a fresh batch
+    (Fig. 7 lines 5-9). *)
+
 val desc_retire : string
 (** DescRetire: before making the descriptor available again. *)
+
+val desc_push : string
+(** Descriptor freelist push: inside the push CAS loop (Fig. 7
+    DescRetire; reached via hazard-pointer reclamation on the default
+    pool). *)
 
 val all : string list
 (** Every label above; fault-injection tests iterate this list. *)

@@ -52,7 +52,13 @@ let create rt (cfg : Cfg.t) =
       ~hyperblocks:cfg.hyperblocks ()
   in
   let table = Descriptor.create_table rt ~capacity:(2 * cfg.store_capacity) in
-  let pool = Desc_pool.create rt table ~kind:cfg.desc_pool () in
+  let pool =
+    Desc_pool.create rt table ~kind:cfg.desc_pool
+      ?scan_threshold:
+        (if cfg.desc_scan_threshold > 0 then Some cfg.desc_scan_threshold
+         else None)
+      ()
+  in
   let nclasses = Sc.count classes in
   let heaps =
     Array.init nclasses (fun sc ->
@@ -132,13 +138,17 @@ let heap_get_partial t heap =
   let rec go () =
     let id = Rt.Atomic.get heap.partial in
     if id = 0 then Partial_list.get t.lists.(heap.sc)
-    else if Rt.Atomic.compare_and_set heap.partial id 0 then
-      Some (Descriptor.get t.table id)
-    else go ()
+    else begin
+      Rt.label t.rt Labels.hgp_slot_cas;
+      if Rt.Atomic.compare_and_set heap.partial id 0 then
+        Some (Descriptor.get t.table id)
+      else go ()
+    end
   in
   go ()
 
 let remove_empty_desc t heap desc =
+  Rt.label t.rt Labels.red_slot_cas;
   if Rt.Atomic.compare_and_set heap.partial desc.Descriptor.id 0 then begin
     (* Guard against the (astronomically narrow) slot ABA the paper's
        pseudocode leaves open: between our EMPTY transition and this CAS,
@@ -176,6 +186,7 @@ let update_active t heap desc morecredits =
           (Anchor.set_count oldanchor (Anchor.count oldanchor + morecredits))
           Anchor.Partial
       in
+      Rt.label t.rt Labels.ua_credits_cas;
       if
         not
           (Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor
@@ -198,6 +209,12 @@ let update_active t heap desc morecredits =
 
 let clamp_index next = next land Anchor.max_count
 
+(* The paper's pop CAS bumps the anchor tag to defeat ABA on the
+   in-superblock free list. [anchor_tag = false] (check subsystem's
+   planted bug ONLY) omits the bump, reopening exactly the interleaving
+   the tag exists to kill; the schedule explorer must find it. *)
+let pop_tag t a = if t.cfg.anchor_tag then Anchor.incr_tag a else a
+
 let pop_block t (desc : Descriptor.t) ~label ~on_anchor =
   let b = Backoff.create t.rt in
   let rec go () =
@@ -207,7 +224,7 @@ let pop_block t (desc : Descriptor.t) ~label ~on_anchor =
        [clamp_index] only keeps the value representable. *)
     let next = Store.read_word t.store addr in
     let newanchor =
-      Anchor.incr_tag (Anchor.set_avail oldanchor (clamp_index next))
+      pop_tag t (Anchor.set_avail oldanchor (clamp_index next))
     in
     let newanchor, extra = on_anchor ~oldanchor ~newanchor in
     Rt.label t.rt label;

@@ -48,17 +48,29 @@ let protected_snapshot t =
 let scan t =
   let me = Rt.self t.rt in
   let plist = protected_snapshot t in
+  (* Detach each node from the retirement list BEFORE handing it to
+     [reuse]: the reuse path performs shared-memory CASes, so under
+     simulation the thread can be killed inside it. With the node already
+     detached, a kill leaks that node (the bounded leak the paper's
+     availability argument allows) instead of leaving it queued for a
+     second, corrupting reuse by a later scan. *)
   let keep = ref [] and kept = ref 0 in
-  List.iter
-    (fun node ->
-      if List.memq node plist then begin
-        keep := node :: !keep;
-        incr kept
-      end
-      else t.reuse node)
-    t.retired.(me);
-  t.retired.(me) <- !keep;
-  t.retired_len.(me) <- !kept
+  let rec drain () =
+    match t.retired.(me) with
+    | [] -> ()
+    | node :: rest ->
+        t.retired.(me) <- rest;
+        t.retired_len.(me) <- t.retired_len.(me) - 1;
+        if List.memq node plist then begin
+          keep := node :: !keep;
+          incr kept
+        end
+        else t.reuse node;
+        drain ()
+  in
+  drain ();
+  t.retired.(me) <- !keep @ t.retired.(me);
+  t.retired_len.(me) <- t.retired_len.(me) + !kept
 
 let retire t v =
   let me = Rt.self t.rt in

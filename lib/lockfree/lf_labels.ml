@@ -1,0 +1,20 @@
+let msq_enq_cas = "msq.enq_cas"
+let msq_enq_swing = "msq.enq_swing"
+let msq_deq_cas = "msq.deq_cas"
+let msq_deq_help = "msq.deq_help"
+let ts_push_cas = "ts.push_cas"
+let ts_pop_cas = "ts.pop_cas"
+let tis_push_cas = "tis.push_cas"
+let tis_pop_cas = "tis.pop_cas"
+
+let all =
+  [
+    msq_enq_cas;
+    msq_enq_swing;
+    msq_deq_cas;
+    msq_deq_help;
+    ts_push_cas;
+    ts_pop_cas;
+    tis_push_cas;
+    tis_pop_cas;
+  ]

@@ -1,0 +1,40 @@
+(** Instrumentation points inside the lock-free building blocks, the
+    counterpart of [Mm_core.Labels] for this layer (same audit rule:
+    every CAS retry loop carries a label between the read of the shared
+    word and the CAS on it, so fault injection and [lib/check]'s schedule
+    explorer can interpose in every read-modify-write window).
+
+    Audit notes for structures without labels of their own:
+    - {b Hazard pointers} have no CAS retry loops — protect/clear are
+      plain atomic stores and scan reads a snapshot — so they need no
+      labels; the descriptor-pool reuse path they trigger is labelled in
+      [Mm_core] ([desc.push]).
+    - {b Backoff} only spins ([cpu_relax]); no shared writes. *)
+
+val msq_enq_cas : string
+(** MS queue enqueue: before the tail.next link CAS. *)
+
+val msq_enq_swing : string
+(** MS queue enqueue: lagging tail observed, before the helping swing
+    CAS. *)
+
+val msq_deq_cas : string
+(** MS queue dequeue: before the head swing CAS. *)
+
+val msq_deq_help : string
+(** MS queue dequeue: head = tail but non-empty, before the helping tail
+    swing CAS. *)
+
+val ts_push_cas : string
+(** Treiber stack push: before the head CAS. *)
+
+val ts_pop_cas : string
+(** Treiber stack pop: before the head CAS. *)
+
+val tis_push_cas : string
+(** Tagged id stack push: before the head CAS. *)
+
+val tis_pop_cas : string
+(** Tagged id stack pop: before the tag-bumping head CAS. *)
+
+val all : string list

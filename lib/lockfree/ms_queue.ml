@@ -18,6 +18,7 @@ let enqueue t v =
     let tail = Rt.Atomic.get t.tail in
     match Rt.Atomic.get tail.next with
     | None ->
+        Rt.label t.rt Lf_labels.msq_enq_cas;
         if Rt.Atomic.compare_and_set tail.next None (Some node) then
           (* Linearized; swing the tail (failure means someone helped). *)
           ignore (Rt.Atomic.compare_and_set t.tail tail node)
@@ -27,6 +28,7 @@ let enqueue t v =
         end
     | Some next ->
         (* Tail is lagging: help swing it, then retry. *)
+        Rt.label t.rt Lf_labels.msq_enq_swing;
         ignore (Rt.Atomic.compare_and_set t.tail tail next);
         go ()
   in
@@ -42,19 +44,23 @@ let dequeue t =
     | Some next ->
         if head == tail then begin
           (* Non-empty but tail lags behind head's successor: help. *)
+          Rt.label t.rt Lf_labels.msq_deq_help;
           ignore (Rt.Atomic.compare_and_set t.tail tail next);
           go ()
         end
-        else if Rt.Atomic.compare_and_set t.head head next then begin
-          let v = next.value in
-          (* [next] is the new dummy; drop its payload so the GC does not
-             retain dequeued values through the queue. *)
-          next.value <- None;
-          v
-        end
         else begin
-          Backoff.once b;
-          go ()
+          Rt.label t.rt Lf_labels.msq_deq_cas;
+          if Rt.Atomic.compare_and_set t.head head next then begin
+            let v = next.value in
+            (* [next] is the new dummy; drop its payload so the GC does
+               not retain dequeued values through the queue. *)
+            next.value <- None;
+            v
+          end
+          else begin
+            Backoff.once b;
+            go ()
+          end
         end
   in
   go ()

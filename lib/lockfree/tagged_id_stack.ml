@@ -31,6 +31,7 @@ let push t id =
     (* Pushes reuse the old tag: only pops need to change it, because only
        a pop can complete erroneously under ABA. *)
     let desired = pack ~tag:(unpack_tag old) ~id in
+    Rt.label t.rt Lf_labels.tis_push_cas;
     if not (Rt.Atomic.compare_and_set t.head old desired) then begin
       Backoff.once b;
       go ()
@@ -47,6 +48,7 @@ let pop t =
     else begin
       let next = t.get_next id in
       let desired = pack ~tag:(unpack_tag old + 1) ~id:next in
+      Rt.label t.rt Lf_labels.tis_pop_cas;
       if Rt.Atomic.compare_and_set t.head old desired then Some id
       else begin
         Backoff.once b;

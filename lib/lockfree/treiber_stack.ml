@@ -11,6 +11,7 @@ let push t v =
   let rec go () =
     let old = Rt.Atomic.get t.head in
     let node = Some { value = v; next = old } in
+    Rt.label t.rt Lf_labels.ts_push_cas;
     if not (Rt.Atomic.compare_and_set t.head old node) then begin
       Backoff.once b;
       go ()
@@ -24,6 +25,7 @@ let pop t =
     match Rt.Atomic.get t.head with
     | None -> None
     | Some n as old ->
+        Rt.label t.rt Lf_labels.ts_pop_cas;
         if Rt.Atomic.compare_and_set t.head old n.next then Some n.value
         else begin
           Backoff.once b;

@@ -12,6 +12,8 @@ type t = {
   store_capacity : int;
   lock_kind : lock_kind;
   arena_limit : int;
+  anchor_tag : bool;
+  desc_scan_threshold : int;
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     store_capacity = 65536;
     lock_kind = Tas_backoff;
     arena_limit = 64;
+    anchor_tag = true;
+    desc_scan_threshold = 0;
   }
 
 let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
@@ -32,12 +36,15 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     ?(partial_policy = default.partial_policy)
     ?(desc_pool = default.desc_pool) ?(hyperblocks = default.hyperblocks)
     ?(store_capacity = default.store_capacity)
-    ?(lock_kind = default.lock_kind) ?(arena_limit = default.arena_limit) ()
-    =
+    ?(lock_kind = default.lock_kind) ?(arena_limit = default.arena_limit)
+    ?(anchor_tag = default.anchor_tag)
+    ?(desc_scan_threshold = default.desc_scan_threshold) () =
   if nheaps < 0 then invalid_arg "Alloc_config: nheaps must be >= 0";
   if maxcredits < 1 || maxcredits > 64 then
     invalid_arg "Alloc_config: maxcredits must be in [1, 64]";
   if arena_limit < 1 then invalid_arg "Alloc_config: arena_limit must be >= 1";
+  if desc_scan_threshold < 0 then
+    invalid_arg "Alloc_config: desc_scan_threshold must be >= 0";
   {
     nheaps;
     sbsize;
@@ -48,6 +55,8 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     store_capacity;
     lock_kind;
     arena_limit;
+    anchor_tag;
+    desc_scan_threshold;
   }
 
 let effective_nheaps t rt =

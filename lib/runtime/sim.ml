@@ -1,5 +1,11 @@
 type action = Continue | Block_until of (unit -> bool) | Kill
 
+type sched_point = {
+  sp_runnable : int list;
+  sp_current : int;
+  sp_label : string option;
+}
+
 type counters = {
   atomics : int;
   plain : int;
@@ -71,6 +77,13 @@ type t = {
   seed : int;
   max_cycles : int;
   on_label : tid:int -> string -> action;
+  sched : (sched_point -> int) option;
+  (* Controlled-mode decision bookkeeping: [ctrl_decide] is set when the
+     current thread passes a decision point (label/yield) and the external
+     strategy must be consulted before the next step; [ctrl_label] carries
+     the label name that caused it. *)
+  mutable ctrl_decide : bool;
+  mutable ctrl_label : string option;
   (* per-run state *)
   mutable clock : int array;
   mutable slice_start : int array;
@@ -84,7 +97,8 @@ type t = {
 }
 
 let create ?(cpus = 16) ?(costs = Cost.default) ?(seed = 1)
-    ?(max_cycles = 1_000_000_000) ?(on_label = fun ~tid:_ _ -> Continue) () =
+    ?(max_cycles = 1_000_000_000) ?(on_label = fun ~tid:_ _ -> Continue)
+    ?sched () =
   if cpus < 1 then invalid_arg "Sim.create: cpus must be >= 1";
   {
     n_cpus = cpus;
@@ -92,6 +106,9 @@ let create ?(cpus = 16) ?(costs = Cost.default) ?(seed = 1)
     seed;
     max_cycles;
     on_label;
+    sched;
+    ctrl_decide = false;
+    ctrl_label = None;
     clock = Array.make cpus 0;
     slice_start = Array.make cpus 0;
     cache = Hashtbl.create 4096;
@@ -203,36 +220,41 @@ let requeue_after_step st th =
 
 let apply_op st th op =
   let c = th.cpu in
+  let controlled = st.sched <> None in
+  (* In controlled mode the external strategy owns all interleaving: no
+     quantum preemption, and no per-CPU queue juggling. *)
+  let after_step () = if not controlled then requeue_after_step st th in
   (match op with
   | Atomic_op { line; write } ->
       st.cnt.c_atomics <- st.cnt.c_atomics + 1;
       let extra = cache_access st ~cpu:c ~line ~write in
       charge st c (st.cost.atomic_op + extra);
-      requeue_after_step st th
+      after_step ()
   | Mem_op { line; write } ->
       st.cnt.c_plain <- st.cnt.c_plain + 1;
       let extra = cache_access st ~cpu:c ~line ~write in
       charge st c (st.cost.plain_access + extra);
-      requeue_after_step st th
+      after_step ()
   | Mem_batch_op { line; write; count } ->
       (* [count] same-line accesses as one event: one coherence action,
          then cache hits. *)
       st.cnt.c_plain <- st.cnt.c_plain + count;
       let extra = cache_access st ~cpu:c ~line ~write in
       charge st c ((st.cost.plain_access * count) + extra);
-      requeue_after_step st th
+      after_step ()
   | Fence_op ->
       st.cnt.c_fences <- st.cnt.c_fences + 1;
       charge st c st.cost.fence;
-      requeue_after_step st th
+      after_step ()
   | Work_op n ->
       charge st c n;
-      requeue_after_step st th
+      after_step ()
   | Yield_op ->
       st.cnt.c_yields <- st.cnt.c_yields + 1;
       charge st c st.cost.yield;
-      (* A voluntary yield always gives the CPU away if anyone waits. *)
-      if Queue.is_empty st.queues.(c) then ()
+      if controlled then st.ctrl_decide <- true
+        (* A voluntary yield always gives the CPU away if anyone waits. *)
+      else if Queue.is_empty st.queues.(c) then ()
       else begin
         Queue.push th st.queues.(c);
         st.running.(c) <- None
@@ -240,10 +262,14 @@ let apply_op st th op =
   | Syscall_op ->
       st.cnt.c_syscalls <- st.cnt.c_syscalls + 1;
       charge st c st.cost.syscall;
-      requeue_after_step st th
+      after_step ()
   | Label_op name -> (
+      if controlled then begin
+        st.ctrl_decide <- true;
+        st.ctrl_label <- Some name
+      end;
       match st.on_label ~tid:th.tid name with
-      | Continue -> requeue_after_step st th
+      | Continue -> after_step ()
       | Block_until p ->
           th.status <- Blocked p;
           st.running.(c) <- None
@@ -342,6 +368,8 @@ let reset_run_state st nthreads =
   st.running <- Array.make st.n_cpus None;
   st.queues <- Array.init st.n_cpus (fun _ -> Queue.create ());
   st.rng <- Prng.create st.seed;
+  st.ctrl_decide <- false;
+  st.ctrl_label <- None;
   ignore nthreads
 
 let run st bodies =
@@ -359,7 +387,8 @@ let run st bodies =
           cont = Not_started (fun () -> bodies.(i) i);
           failure = None;
         });
-  Array.iter (fun th -> Queue.push th st.queues.(th.cpu)) st.threads;
+  if st.sched = None then
+    Array.iter (fun th -> Queue.push th st.queues.(th.cpu)) st.threads;
   let finish () =
     st.active <- false;
     let makespan = Array.fold_left max 0 st.clock in
@@ -371,6 +400,76 @@ let run st bodies =
       cpu_cycles = Array.copy st.clock;
       counters = snapshot_counters st;
     }
+  in
+  (* Controlled mode: the external strategy picks who runs at each
+     decision point; queues, quanta and CPU clocks play no scheduling
+     role (clocks still accumulate for the cycle budget). *)
+  let run_controlled sched =
+    let unblock () =
+      Array.iter
+        (fun th ->
+          match th.status with
+          | Blocked p when p () -> th.status <- Ready
+          | _ -> ())
+        st.threads
+    in
+    let runnable () =
+      Array.fold_right
+        (fun th acc -> if th.status = Ready then th.tid :: acc else acc)
+        st.threads []
+    in
+    let rec loop current =
+      unblock ();
+      match runnable () with
+      | [] ->
+          if
+            Array.exists
+              (fun th ->
+                match th.status with Blocked _ -> true | _ -> false)
+              st.threads
+          then begin
+            st.active <- false;
+            raise
+              (Deadlock
+                 "Sim.run: blocked threads remain and no thread is runnable")
+          end
+      | rs ->
+          let maxclk = Array.fold_left max 0 st.clock in
+          if maxclk > st.max_cycles then begin
+            st.active <- false;
+            raise
+              (Progress_timeout
+                 (Printf.sprintf
+                    "Sim.run: cycle budget exceeded (clock=%d > max=%d)"
+                    maxclk st.max_cycles))
+          end;
+          let need_decision =
+            st.ctrl_decide || current < 0
+            || st.threads.(current).status <> Ready
+          in
+          let tid =
+            if not need_decision then current
+            else begin
+              st.ctrl_decide <- false;
+              let lbl = st.ctrl_label in
+              st.ctrl_label <- None;
+              let choice =
+                sched
+                  { sp_runnable = rs; sp_current = current; sp_label = lbl }
+              in
+              if not (List.mem choice rs) then begin
+                st.active <- false;
+                failwith
+                  (Printf.sprintf
+                     "Sim.run: strategy chose non-runnable thread %d" choice)
+              end;
+              choice
+            end
+          in
+          resume st st.threads.(tid);
+          loop tid
+    in
+    loop (-1)
   in
   let rec loop () =
     ignore (unblock_ready st);
@@ -411,7 +510,7 @@ let run st bodies =
       loop ()
     end
   in
-  (try loop ()
+  (try match st.sched with Some s -> run_controlled s | None -> loop ()
    with e ->
      st.active <- false;
      cur := None;

@@ -31,6 +31,17 @@ type action =
           is re-evaluated between scheduling steps *)
   | Kill  (** terminate the thread instantly, as if the OS killed it *)
 
+(** A scheduling decision point presented to an external strategy; see
+    {!val-create}'s [sched]. *)
+type sched_point = {
+  sp_runnable : int list;
+      (** tids that can take a step now, in ascending order; never empty *)
+  sp_current : int;
+      (** tid that executed the previous segment, or [-1] before the first *)
+  sp_label : string option;
+      (** label at which [sp_current] stopped, if it stopped at one *)
+}
+
 type counters = {
   atomics : int;  (** atomic operations executed *)
   plain : int;  (** plain word accesses executed *)
@@ -63,10 +74,29 @@ val create :
   ?seed:int ->
   ?max_cycles:int ->
   ?on_label:(tid:int -> string -> action) ->
+  ?sched:(sched_point -> int) ->
   unit ->
   t
 (** [create ()] builds a simulator instance. Defaults: 16 CPUs, default
-    costs, seed 1, a large cycle budget, and no label interception. *)
+    costs, seed 1, a large cycle budget, and no label interception.
+
+    When [sched] is given the simulator runs in {e controlled} mode — the
+    substrate of [lib/check]'s systematic schedule exploration. The
+    cost-model scheduler (per-CPU clocks, quanta, preemption) no longer
+    decides who runs: instead, whenever the current thread reaches a
+    decision point the strategy is consulted with the set of runnable
+    threads and its answer runs next, uninterrupted, until the following
+    decision point. Decision points are exactly: the start of the run,
+    every {!Rt.label} and {!Rt.yield} executed by the current thread, and
+    the current thread finishing, blocking or being killed. [on_label]
+    still applies first at labels (it can block or kill the arriving
+    thread); [sched] then picks among whoever remains runnable. The
+    strategy must return a member of [sp_runnable] or the run fails.
+    Virtual clocks and counters are still maintained, and [max_cycles]
+    still bounds the run, so controlled runs detect livelock the same way
+    free-running ones do. A run is a pure function of (config, bodies,
+    strategy decisions), which is what makes recorded schedules
+    replayable. *)
 
 val cpus : t -> int
 val costs : t -> Cost.t

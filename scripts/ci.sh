@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: full build, then the whole test tree — the alcotest
+# suites plus the check-quick schedule-exploration gate wired into
+# `dune runtest` (see bin/dune).
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest

@@ -20,4 +20,6 @@ let () =
       ("trace", Test_trace.cases);
       ("model", Test_model.cases);
       ("harness", Test_harness.cases);
+      ("metrics", Test_metrics.cases);
+      ("check", Test_check.cases);
     ]

@@ -22,8 +22,12 @@ open Util
 (* A configuration and workload designed to reach every label:
    maxcredits=1 exercises UpdateActive on nearly every malloc; one heap
    maximizes interference; tiny superblocks make FULL / EMPTY cycles
-   frequent. *)
-let probe_cfg = Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ()
+   frequent; scan threshold 1 makes every descriptor retirement run the
+   hazard-pointer scan, so descriptor reuse ([desc.push]) fires within
+   the probe run (retirement lists are per-thread and each thread only
+   retires a few descriptors). *)
+let probe_cfg =
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ~desc_scan_threshold:1 ()
 
 let probe_body t n tid =
   let rng = Prng.create (tid + 31) in
