@@ -188,6 +188,101 @@ let desc_pool =
     run = pool_run;
   }
 
-let all = [ lf_alloc; lf_alloc_notag; ms_queue; desc_pool ]
+(* Stack targets: the two freelist building blocks under the same
+   ownership discipline as the descriptor pool — the stack is pre-seeded
+   with one id per thread, and each thread repeatedly pops an id,
+   briefly owns it, and pushes it back. The ownership oracle rejects two
+   threads holding one id at once; at quiescence every id must be back
+   on the stack. *)
+let ts_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
+    ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let st = Mm_lockfree.Treiber_stack.create rt in
+  for id = 0 to threads - 1 do
+    Mm_lockfree.Treiber_stack.push st id
+  done;
+  let own = Oracle.create_ownership () in
+  let body tid =
+    for _ = 1 to 3 do
+      match Mm_lockfree.Treiber_stack.pop st with
+      | Some id ->
+          Oracle.acquire own ~tid id;
+          Rt.yield rt;
+          Oracle.release own ~tid id;
+          Mm_lockfree.Treiber_stack.push st id
+      | None -> Rt.yield rt
+    done
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks then begin
+        if Oracle.held_count own <> 0 then
+          failwith "stack ids still held at quiescence";
+        let n = Mm_lockfree.Treiber_stack.length st in
+        if n <> threads then
+          failwith
+            (Printf.sprintf "stack has %d ids at quiescence, expected %d"
+               n threads)
+      end)
+
+let treiber_stack =
+  {
+    name = "treiber_stack";
+    doc = "Treiber LIFO stack; exclusive-ownership oracle";
+    default_threads = 2;
+    labels = Lf_labels.[ ts_push_cas; ts_pop_cas ];
+    run = ts_run;
+  }
+
+let tis_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
+    ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let links = Array.make (max threads 1) (-1) in
+  let st =
+    Mm_lockfree.Tagged_id_stack.create rt
+      ~get_next:(fun id -> links.(id))
+      ~set_next:(fun id n -> links.(id) <- n)
+  in
+  for id = 0 to threads - 1 do
+    Mm_lockfree.Tagged_id_stack.push st id
+  done;
+  let own = Oracle.create_ownership () in
+  let body tid =
+    for _ = 1 to 3 do
+      match Mm_lockfree.Tagged_id_stack.pop st with
+      | Some id ->
+          Oracle.acquire own ~tid id;
+          Rt.yield rt;
+          Oracle.release own ~tid id;
+          Mm_lockfree.Tagged_id_stack.push st id
+      | None -> Rt.yield rt
+    done
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks then begin
+        if Oracle.held_count own <> 0 then
+          failwith "stack ids still held at quiescence";
+        let n = List.length (Mm_lockfree.Tagged_id_stack.to_list st) in
+        if n <> threads then
+          failwith
+            (Printf.sprintf "stack has %d ids at quiescence, expected %d"
+               n threads)
+      end)
+
+let tagged_id_stack =
+  {
+    name = "tagged_id_stack";
+    doc = "tagged id freelist stack; exclusive-ownership oracle";
+    default_threads = 2;
+    labels = Lf_labels.[ tis_push_cas; tis_pop_cas ];
+    run = tis_run;
+  }
+
+let all =
+  [ lf_alloc; lf_alloc_notag; ms_queue; desc_pool; treiber_stack;
+    tagged_id_stack ]
 
 let find name = List.find_opt (fun t -> t.name = name) all

@@ -44,5 +44,14 @@ val lf_alloc_notag : t
 val ms_queue : t
 val desc_pool : t
 
+val treiber_stack : t
+(** Treiber stack as an id freelist: pre-seeded with one id per thread,
+    each thread pops, briefly owns, and pushes back under the
+    exclusive-ownership oracle. Expected clean. *)
+
+val tagged_id_stack : t
+(** Same workload over the tag-protected id stack (links held in an
+    external array, as the descriptor pool uses it). Expected clean. *)
+
 val all : t list
 val find : string -> t option

@@ -143,6 +143,10 @@ let retire t d =
 let flush t =
   match t.variant with Hazard_v p -> Hp.flush p.hp | Tagged_v _ -> ()
 
+(* mm-lint: allow hp-protect: available is a quiescent-only diagnostic
+   (tests and stats probes call it with no concurrent pool traffic), so
+   walking the freelist without hazard protection cannot race a reuse;
+   protecting every hop would serialize the walk for no safety gain. *)
 let available t =
   match t.variant with
   | Hazard_v p ->

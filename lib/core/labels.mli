@@ -8,14 +8,13 @@
     schedule explorer uses them as context-switch points. Zero cost on the
     real runtime unless a hook is installed.
 
-    Audit discipline (Figs. 4-7 of the paper): {e every} CAS retry loop in
-    MallocFromActive / MallocFromPartial / MallocFromNewSB / UpdateActive /
-    HeapGetPartial / HeapPutPartial / RemoveEmptyDesc / free / DescAlloc /
-    DescRetire carries a label between reading the shared word and the CAS
-    on it, so an adversarial scheduler can interpose at every overlapping
-    read-modify-write window. [all] must list every label; the checker and
-    the fault-injection suites iterate it. The lock-free building blocks
-    (MS queue, Treiber stack, tagged id stack) carry their own labels in
+    The discipline this registry rests on — every CAS retry loop of
+    Figs. 4-7 carries a label inside its read-to-CAS window, [all] lists
+    every binding exactly once, and every binding is used — is no longer
+    a manual audit: mm-lint ([lib/lint], rules unlabelled-cas-window and
+    label-registry, DESIGN.md §11) enforces it on every [dune runtest]
+    via the [@lint] alias. The lock-free building blocks (MS queue,
+    Treiber stack, tagged id stack) carry their own labels in
     [Mm_lockfree.Lf_labels]. *)
 
 val ma_read_active : string

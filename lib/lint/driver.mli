@@ -1,0 +1,21 @@
+(** Orchestration: discover files, parse, run every rule, apply
+    in-source suppressions. *)
+
+type result = {
+  findings : Finding.t list;  (** live findings, sorted, deduplicated *)
+  suppressed : Finding.t list;  (** silenced by mm-lint comments *)
+  errors : (string * string) list;
+      (** (path, message): unparseable files, unknown suppression rules *)
+  files : int;
+}
+
+val collect : root:string -> string list -> string list
+(** All .ml files under the root-relative paths (skips dot-dirs and
+    _build), sorted. *)
+
+val load : root:string -> string list -> Source.t list * (string * string) list
+
+val lint_sources : Source.t list -> result
+(** Lint pre-parsed sources; lets tests lint modified in-memory trees. *)
+
+val run : root:string -> paths:string list -> result

@@ -1,0 +1,24 @@
+type t = {
+  rule : Rule.t;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else String.compare (Rule.name a.rule) (Rule.name b.rule)
+
+let pp fmt t =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" t.file t.line t.col
+    (Rule.name t.rule) t.message

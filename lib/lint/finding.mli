@@ -1,0 +1,13 @@
+(** A single lint diagnostic, anchored to a source position. *)
+
+type t = {
+  rule : Rule.t;
+  file : string;  (** root-relative path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, compiler convention *)
+  message : string;
+}
+
+val v : rule:Rule.t -> file:string -> line:int -> col:int -> string -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+(* R5, cross-file half: the label registries (lib/core/labels.ml as
+   [Labels], lib/lockfree/lf_labels.ml as [Lf_labels]) must be exact —
+   every binding is a distinct string, listed in [all], and referenced
+   from the instrumented sections. The fault-injection suites and the
+   schedule explorer iterate [all]; a stale or missing entry silently
+   shrinks their coverage. *)
+
+open Parsetree
+
+type entry = { ename : string; evalue : string; eline : int; ecol : int }
+
+type registry = {
+  rmodule : string;  (* qualifier used at call sites: Labels / Lf_labels *)
+  rfile : string;
+  entries : entry list;
+  all_names : string list;
+  all_line : int;
+  has_all : bool;
+}
+
+let registry_module (src : Source.t) =
+  match (src.Source.section, Filename.basename src.Source.path) with
+  | Source.Core, "labels.ml" -> Some "Labels"
+  | Source.Lockfree, "lf_labels.ml" -> Some "Lf_labels"
+  | _ -> None
+
+let rec list_idents acc e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "[]"; _ }, None) -> List.rev acc
+  | Pexp_construct
+      ( { txt = Longident.Lident "::"; _ },
+        Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ } ) ->
+      let acc =
+        match hd.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident n; _ } -> n :: acc
+        | _ -> acc
+      in
+      list_idents acc tl
+  | _ -> List.rev acc
+
+let parse_registry rmodule (src : Source.t) =
+  let entries = ref [] and all_names = ref [] in
+  let all_line = ref 0 and has_all = ref false in
+  List.iter
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = name; loc } -> (
+                  let eline = loc.loc_start.pos_lnum in
+                  let ecol = loc.loc_start.pos_cnum - loc.loc_start.pos_bol in
+                  match vb.pvb_expr.pexp_desc with
+                  | Pexp_constant (Pconst_string (v, _, _)) ->
+                      entries :=
+                        { ename = name; evalue = v; eline; ecol } :: !entries
+                  | _ when name = "all" ->
+                      has_all := true;
+                      all_line := eline;
+                      all_names := list_idents [] vb.pvb_expr
+                  | _ -> ())
+              | _ -> ())
+            bindings
+      | _ -> ())
+    src.Source.structure;
+  {
+    rmodule;
+    rfile = src.Source.path;
+    entries = List.rev !entries;
+    all_names = !all_names;
+    all_line = !all_line;
+    has_all = !has_all;
+  }
+
+(* A use of [M.x] is any reference whose flattened path contains the
+   adjacent pair (M, x) — covers Labels.x, Mm_core.Labels.x, etc. *)
+let uses_entry rmodule ename (r : Scan.reference) =
+  let rec go = function
+    | m :: n :: _ when m = rmodule && n = ename -> true
+    | _ :: rest -> go rest
+    | [] -> false
+  in
+  go r.Scan.rpath
+
+let check (sources : Source.t list) =
+  let registries =
+    List.filter_map
+      (fun src ->
+        Option.map (fun m -> parse_registry m src) (registry_module src))
+      sources
+  in
+  let scope_refs =
+    (* references from the instrumented sections, registries excluded *)
+    List.concat_map
+      (fun (src : Source.t) ->
+        if
+          Source.in_lockfree_scope src.Source.section
+          && registry_module src = None
+        then Scan.refs src.Source.structure
+        else [])
+      sources
+  in
+  let findings = ref [] in
+  let add ~file ~line ~col fmt =
+    Printf.ksprintf
+      (fun message ->
+        findings :=
+          Finding.v ~rule:Rule.Label_registry ~file ~line ~col message
+          :: !findings)
+      fmt
+  in
+  (* Duplicate strings, across registries too: two instrumentation
+     points with one name are indistinguishable to the explorer. *)
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun reg ->
+      List.iter
+        (fun e ->
+          let key = e.evalue in
+          (match Hashtbl.find_opt seen key with
+          | Some first ->
+              add ~file:reg.rfile ~line:e.eline ~col:e.ecol
+                "label string %S bound to both %s and %s.%s" e.evalue first
+                reg.rmodule e.ename
+          | None ->
+              Hashtbl.add seen key
+                (Printf.sprintf "%s.%s" reg.rmodule e.ename));
+          if reg.has_all && not (List.mem e.ename reg.all_names) then
+            add ~file:reg.rfile ~line:e.eline ~col:e.ecol
+              "label %s.%s (%S) is not listed in [all]; fault injection and \
+               exploration would never visit it"
+              reg.rmodule e.ename e.evalue;
+          if
+            not
+              (List.exists
+                 (fun r -> uses_entry reg.rmodule e.ename r)
+                 scope_refs)
+          then
+            add ~file:reg.rfile ~line:e.eline ~col:e.ecol
+              "label %s.%s (%S) is never used in lib/core, lib/lockfree or \
+               lib/mem"
+              reg.rmodule e.ename e.evalue)
+        reg.entries;
+      if not reg.has_all then
+        add ~file:reg.rfile ~line:1 ~col:0
+          "registry %s has no [all] list" reg.rmodule
+      else begin
+        (* [all] entries that name nothing, or repeat. *)
+        let names = List.map (fun e -> e.ename) reg.entries in
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun n ->
+            if not (List.mem n names) then
+              add ~file:reg.rfile ~line:reg.all_line ~col:0
+                "[all] lists %s, which is not a string binding of this \
+                 registry"
+                n;
+            if Hashtbl.mem tbl n then
+              add ~file:reg.rfile ~line:reg.all_line ~col:0
+                "[all] lists %s twice" n;
+            Hashtbl.replace tbl n ())
+          reg.all_names
+      end)
+    registries;
+  List.rev !findings

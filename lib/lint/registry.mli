@@ -1,0 +1,6 @@
+(** The cross-file half of R5 label-registry: parses
+    [lib/core/labels.ml] and [lib/lockfree/lf_labels.ml] out of the
+    scanned source set and checks that every entry is a distinct string,
+    listed in [all], and referenced from the instrumented sections. *)
+
+val check : Source.t list -> Finding.t list

@@ -1,0 +1,6 @@
+(** Rendering of lint results: compiler-style text diagnostics, and a
+    stable JSON document for CI artifacts. *)
+
+val text : Format.formatter -> Driver.result -> unit
+val json : Format.formatter -> Driver.result -> unit
+val summary : Driver.result -> string

@@ -1,0 +1,16 @@
+(** The mm-lint rule set, each keyed to the paper's progress argument
+    (DESIGN.md §11). Rule names are the tokens used by findings, the
+    [--rule] CLI filter and in-source suppressions
+    [(* mm-lint: allow <rule> *)]. *)
+
+type t =
+  | Unlabelled_cas_window  (** R1 *)
+  | Raw_primitive  (** R2 *)
+  | Blocking_in_lockfree  (** R3 *)
+  | Hp_protect  (** R4 *)
+  | Label_registry  (** R5 *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+val describe : t -> string

@@ -1,0 +1,169 @@
+type section =
+  | Core
+  | Lockfree
+  | Mem
+  | Runtime
+  | Baselines
+  | Lib_other
+  | Binx
+  | Other
+
+type suppression = {
+  sup_rule : Rule.t;
+  sup_line : int;
+  sup_reason : string option;
+}
+
+type t = {
+  path : string;
+  section : section;
+  text : string;
+  structure : Parsetree.structure;
+  suppressions : suppression list;
+  bad_suppressions : (int * string) list;
+}
+
+let section_name = function
+  | Core -> "core"
+  | Lockfree -> "lockfree"
+  | Mem -> "mem"
+  | Runtime -> "runtime"
+  | Baselines -> "baselines"
+  | Lib_other -> "lib"
+  | Binx -> "bin"
+  | Other -> "other"
+
+(* Classification is by path segments, so both the real tree and fixture
+   trees that mirror it (test/lint_fixtures/lib/core/...) classify the
+   same way. *)
+let section_of_path path =
+  let segs = String.split_on_char '/' path in
+  let rec after_lib = function
+    | "lib" :: next :: _ -> (
+        match next with
+        | "core" -> Some Core
+        | "lockfree" -> Some Lockfree
+        | "mem" -> Some Mem
+        | "runtime" -> Some Runtime
+        | "baselines" -> Some Baselines
+        | _ -> Some Lib_other)
+    | _ :: rest -> after_lib rest
+    | [] -> None
+  in
+  match after_lib segs with
+  | Some s -> s
+  | None -> if List.mem "bin" segs then Binx else Other
+
+let in_lockfree_scope = function Core | Lockfree | Mem -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments: (* mm-lint: allow <rule> *) or
+   (* mm-lint: allow <rule>: <reason> *). The scan is textual (comments
+   are not in the parsetree). A marker not followed by "allow" plus a
+   non-empty rule token is not a suppression attempt — that keeps prose
+   mentions of the syntax (docs, this linter's own sources) inert — but
+   a non-empty token naming no rule is an error, so typos cannot
+   silently fail to suppress. *)
+
+let is_token_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+let line_of_offset text off =
+  let n = ref 1 in
+  for i = 0 to off - 1 do
+    if text.[i] = '\n' then incr n
+  done;
+  !n
+
+let scan_suppressions text =
+  let marker = "mm-lint:" in
+  let ok = ref [] and bad = ref [] in
+  let len = String.length text in
+  let rec find from =
+    match
+      if from >= len then None
+      else
+        let rec at i =
+          if i + String.length marker > len then None
+          else if String.sub text i (String.length marker) = marker then
+            Some i
+          else at (i + 1)
+        in
+        at from
+    with
+    | None -> ()
+    | Some i ->
+        let j = ref (i + String.length marker) in
+        while !j < len && (text.[!j] = ' ' || text.[!j] = '\t') do incr j done;
+        let line = line_of_offset text i in
+        (if !j + 5 <= len && String.sub text !j 5 = "allow" then begin
+           j := !j + 5;
+           while !j < len && (text.[!j] = ' ' || text.[!j] = '\t') do
+             incr j
+           done;
+           let start = !j in
+           while !j < len && is_token_char text.[!j] do incr j done;
+           let token = String.sub text start (!j - start) in
+           if token = "" then ()
+           else
+             match Rule.of_name token with
+             | Some r ->
+                 let reason =
+                   if !j < len && text.[!j] = ':' then
+                     let rs = !j + 1 in
+                     let re = ref rs in
+                     while
+                       !re + 1 < len
+                       && not (text.[!re] = '*' && text.[!re + 1] = ')')
+                     do
+                       incr re
+                     done;
+                     Some (String.trim (String.sub text rs (!re - rs)))
+                   else None
+                 in
+                 ok :=
+                   { sup_rule = r; sup_line = line; sup_reason = reason }
+                   :: !ok
+             | None -> bad := (line, token) :: !bad
+         end);
+        find !j
+  in
+  find 0;
+  (List.rev !ok, List.rev !bad)
+
+(* ------------------------------------------------------------------ *)
+
+let parse ~path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure ->
+      let suppressions, bad_suppressions = scan_suppressions text in
+      Ok
+        {
+          path;
+          section = section_of_path path;
+          text;
+          structure;
+          suppressions;
+          bad_suppressions;
+        }
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+        | _ -> Printexc.to_string exn
+      in
+      Error (String.concat " " (String.split_on_char '\n' msg))
+
+let load ~root ~path =
+  let full = Filename.concat root path in
+  match
+    let ic = open_in_bin full in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse ~path text
+  | exception Sys_error e -> Error e

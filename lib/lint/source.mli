@@ -1,0 +1,38 @@
+(** A parsed source file, classified by repository section, with its
+    in-source lint suppressions. *)
+
+type section =
+  | Core  (** lib/core *)
+  | Lockfree  (** lib/lockfree *)
+  | Mem  (** lib/mem *)
+  | Runtime  (** lib/runtime — may use raw multicore primitives *)
+  | Baselines  (** lib/baselines — lock-based, may use raw primitives *)
+  | Lib_other  (** other lib/ subsystems (check, harness, workloads, lint) *)
+  | Binx  (** bin/ *)
+  | Other
+
+type suppression = {
+  sup_rule : Rule.t;
+  sup_line : int;  (** line the comment starts on *)
+  sup_reason : string option;
+}
+
+type t = {
+  path : string;
+  section : section;
+  text : string;
+  structure : Parsetree.structure;
+  suppressions : suppression list;
+  bad_suppressions : (int * string) list;
+      (** mm-lint comments naming no known rule: (line, token) *)
+}
+
+val section_of_path : string -> section
+val section_name : section -> string
+
+val in_lockfree_scope : section -> bool
+(** The sections whose code carries the paper's progress argument
+    (lib/core, lib/lockfree, lib/mem). *)
+
+val parse : path:string -> string -> (t, string) result
+val load : root:string -> path:string -> (t, string) result

@@ -1,8 +1,15 @@
 #!/bin/sh
-# Tier-1 gate: full build, then the whole test tree — the alcotest
-# suites plus the check-quick schedule-exploration gate wired into
-# `dune runtest` (see bin/dune).
+# Tier-1 gate: full build, static analysis (mm-lint), then the whole
+# test tree — the alcotest suites plus the check-quick schedule-
+# exploration gate and the @lint alias wired into `dune runtest` (see
+# bin/dune and the root dune file).
 set -eu
 cd "$(dirname "$0")/.."
 dune build
+# Machine-readable lint report, kept as a CI artifact even when the
+# enforcement gates below fail.
+mkdir -p _build/ci
+dune exec bin/lint.exe -- --root . --format json lib bin \
+  > _build/ci/lint-report.json || true
+dune build @lint
 dune runtest

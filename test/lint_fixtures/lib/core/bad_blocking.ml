@@ -1,0 +1,9 @@
+(* Fixture: R3 blocking-in-lockfree. The blocking lock substrate
+   reached from a lock-free section. Never compiled — parsed only by
+   mm-lint's tests. *)
+
+let with_lock l f =
+  Locks.acquire l;
+  let r = f () in
+  Locks.release l;
+  r

@@ -1,0 +1,7 @@
+(* Fixture: R1 unlabelled-cas-window. The read->CAS retry window below
+   carries no Rt.label, so the schedule explorer cannot interpose in it.
+   Never compiled — parsed only by mm-lint's tests. *)
+
+let bump cell v =
+  let cur = Rt.Atomic.get cell in
+  if not (Rt.Atomic.compare_and_set cell cur v) then ()

@@ -1,0 +1,17 @@
+(* Fixture: R4 hp-protect, both failure shapes. Never compiled — parsed
+   only by mm-lint's tests. *)
+
+(* No hazard-pointer protection at all before the link read. *)
+let walk_unprotected head =
+  match Rt.Atomic.get head with
+  | None -> 0
+  | Some d -> (match d.Descriptor.next_d with None -> 0 | Some _ -> 1)
+
+(* Protected, but the head is never re-read after the protection is
+   published, so the descriptor may already have been recycled. *)
+let pop_no_revalidate pool head =
+  match Rt.Atomic.get head with
+  | None -> None
+  | Some d ->
+      Hp.protect pool.hp 0 d;
+      d.Descriptor.next_d

@@ -1,0 +1,5 @@
+(* Fixture: R5 label-registry (per-file half) — a literal label string
+   the registries cannot enumerate. Never compiled — parsed only by
+   mm-lint's tests. *)
+
+let probe rt = Rt.label rt "fx-literal-probe"

@@ -1,0 +1,11 @@
+(* Fixture: R2 raw-primitive. Raw multicore primitives outside
+   lib/runtime and lib/baselines. Never compiled — parsed only by
+   mm-lint's tests. *)
+
+let m = Mutex.create ()
+let counter = Stdlib.Atomic.make 0
+
+let bump () =
+  Mutex.lock m;
+  Stdlib.Atomic.incr counter;
+  Mutex.unlock m

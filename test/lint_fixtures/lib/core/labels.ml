@@ -1,0 +1,11 @@
+(* Fixture registry: R5 label-registry (cross-file half). fx_push_dup
+   reuses fx_push's string, fx_orphan is never referenced, fx_unlisted
+   is missing from [all]. Never compiled — parsed only by mm-lint's
+   tests. *)
+
+let fx_pop = "fx_pop"
+let fx_push = "fx_push"
+let fx_push_dup = "fx_push"
+let fx_orphan = "fx_orphan"
+let fx_unlisted = "fx_unlisted"
+let all = [ fx_pop; fx_push; fx_push_dup; fx_orphan ]

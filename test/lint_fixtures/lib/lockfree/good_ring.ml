@@ -1,0 +1,7 @@
+(* Fixture: clean lockfree-section file using the fixture registry.
+   Never compiled — parsed only by mm-lint's tests. *)
+
+let advance cell rt =
+  let cur = Rt.Atomic.get cell in
+  Rt.label rt Lf_labels.fx_ring;
+  Rt.Atomic.compare_and_set cell cur (cur + 1)

@@ -1,0 +1,7 @@
+(* Fixture registry for the lockfree section: consistent on purpose —
+   used together with lib/core/labels.ml to check that duplicates are
+   detected across registries but a clean registry stays clean. Never
+   compiled — parsed only by mm-lint's tests. *)
+
+let fx_ring = "fx_ring"
+let all = [ fx_ring ]

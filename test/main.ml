@@ -22,4 +22,5 @@ let () =
       ("harness", Test_harness.cases);
       ("metrics", Test_metrics.cases);
       ("check", Test_check.cases);
+      ("lint", Test_lint.cases);
     ]

@@ -144,7 +144,26 @@ let building_blocks_clean () =
       match r.E.finding with
       | None -> ()
       | Some f -> Alcotest.failf "%s: %s" name f.E.error)
-    [ "ms_queue"; "desc_pool" ]
+    [ "ms_queue"; "desc_pool"; "treiber_stack"; "tagged_id_stack" ]
+
+(* Every label declared in the registries is exercised by some target
+   (so the kill/stall monitor can reach it), no registry entry is
+   duplicated, and targets only name registered labels. mm-lint checks
+   the registries statically (rule label-registry); this is the runtime
+   side of the same contract, against what `check list` enumerates. *)
+let registries_match_targets () =
+  let registered =
+    Mm_core.Labels.all @ Mm_lockfree.Lf_labels.all
+  in
+  let sorted = List.sort_uniq compare registered in
+  Alcotest.(check int) "no duplicate registry entries"
+    (List.length registered) (List.length sorted);
+  let enumerated =
+    List.sort_uniq compare
+      (List.concat_map (fun t -> t.T.labels) T.all)
+  in
+  Alcotest.(check (list string)) "targets enumerate the registries"
+    sorted enumerated
 
 let monitor_lock_freedom () =
   let t = target "lf_alloc" in
@@ -170,7 +189,8 @@ let cases =
     case "explorer finds the planted ABA bug" planted_bug_exhaustive;
     case "PCT finds the planted ABA bug" planted_bug_pct;
     case "real allocator survives exploration" real_allocator_clean;
-    case "queue and descriptor pool survive exploration"
+    case "queue, pool and stacks survive exploration"
       building_blocks_clean;
+    case "label registries match check targets" registries_match_targets;
     case "kill/stall monitor: survivors complete" monitor_lock_freedom;
   ]
