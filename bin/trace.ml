@@ -1,0 +1,199 @@
+(* CLI over the observability layer (lib/obs): record a traced workload
+   run on the deterministic simulator, report per-site counters, export
+   chrome://tracing JSON.
+
+     dune exec bin/trace.exe -- list
+     dune exec bin/trace.exe -- record threadtest --threads 16 \
+         --heaps 1 -o /tmp/threadtest.trace.json
+     dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1
+     dune exec bin/trace.exe -- report -i /tmp/threadtest.trace.json
+     dune exec bin/trace.exe -- export --chrome \
+         -i /tmp/threadtest.trace.json -o /tmp/threadtest.chrome.json
+
+   Exit codes: 0 = ok; 1 = usage error / unreadable input.
+*)
+
+open Cmdliner
+module H = Mm_harness.Traced
+module TF = Mm_obs.Trace_file
+
+let workload_arg =
+  Arg.(
+    value
+    & pos 0 string "threadtest"
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"Workload to run (see $(b,list)); quick-mode parameters.")
+
+let threads_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "threads" ] ~docv:"N" ~doc:"Thread count.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Simulator seed.")
+
+let cpus_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "cpus" ] ~docv:"P" ~doc:"Simulated processors.")
+
+let heaps_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "heaps" ] ~docv:"H"
+        ~doc:"Processor heaps (default: one per simulated CPU; the \
+              EXPERIMENTS.md contention census uses 1).")
+
+let capacity_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "capacity" ] ~docv:"E"
+        ~doc:"Per-thread event-ring capacity; overflow drops (and \
+              counts) events.")
+
+let allocator_arg =
+  Arg.(
+    value & opt string "new"
+    & info [ "allocator" ] ~docv:"A"
+        ~doc:"Allocator under trace (new, hoard, ptmalloc, libc).")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:"Read a recorded trace instead of running a workload.")
+
+let capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator =
+  match H.find_workload workload with
+  | None ->
+      Error (Printf.sprintf "unknown workload %s (see `trace list')" workload)
+  | Some wl ->
+      let nheaps = if heaps = 0 then None else Some heaps in
+      Ok
+        (H.capture ~cpus ?nheaps ~capacity ~allocator ~name:workload ~threads
+           ~seed wl)
+
+let obtain input workload threads seed cpus heaps capacity allocator =
+  match input with
+  | Some path -> TF.load path
+  | None ->
+      Result.map
+        (fun c -> c.H.trace)
+        (capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator)
+
+let usage_err e =
+  prerr_endline e;
+  1
+
+let list_cmd =
+  let doc = "List the traceable workloads." in
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) H.workloads;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let record_cmd =
+  let doc = "Run a workload under the tracer and save the trace file." in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let run workload threads seed cpus heaps capacity allocator out =
+    match capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator with
+    | Error e -> usage_err e
+    | Ok c ->
+        TF.save out c.H.trace;
+        let m = c.H.trace.TF.meta in
+        Printf.printf
+          "recorded %s x%d (%s, seed %d): %d events, %d dropped -> %s\n"
+          m.TF.workload m.TF.threads m.TF.allocator m.TF.seed
+          (List.length c.H.trace.TF.events)
+          c.H.trace.TF.dropped out;
+        0
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const run $ workload_arg $ threads_arg $ seed_arg $ cpus_arg
+      $ heaps_arg $ capacity_arg $ allocator_arg $ out)
+
+let report_cmd =
+  let doc =
+    "Aggregate a trace (from $(b,-i) or a fresh run) into per-site \
+     counters."
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"text or json.")
+  in
+  let run input workload threads seed cpus heaps capacity allocator format =
+    match obtain input workload threads seed cpus heaps capacity allocator with
+    | Error e -> usage_err e
+    | Ok trace ->
+        (match format with
+        | `Text -> List.iter print_endline (H.report_lines trace)
+        | `Json ->
+            print_endline (Mm_obs.Json.to_string (H.report_json trace)));
+        0
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
+      $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ format)
+
+let export_cmd =
+  let doc =
+    "Export a trace (from $(b,-i) or a fresh run) as \
+     chrome://tracing-compatible JSON."
+  in
+  let chrome =
+    Arg.(
+      value & flag
+      & info [ "chrome" ]
+          ~doc:"Chrome Trace Event Format (the default and only format).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file (default: stdout).")
+  in
+  let run input workload threads seed cpus heaps capacity allocator _chrome out
+      =
+    match obtain input workload threads seed cpus heaps capacity allocator with
+    | Error e -> usage_err e
+    | Ok trace ->
+        let s =
+          Mm_obs.Chrome.to_string
+            ~process_name:
+              (Printf.sprintf "mmalloc %s x%d" trace.TF.meta.TF.workload
+                 trace.TF.meta.TF.threads)
+            ~dropped:trace.TF.dropped trace.TF.events
+        in
+        (match out with
+        | None -> print_endline s
+        | Some path ->
+            let oc = open_out path in
+            output_string oc s;
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "wrote %s (%d events)\n" path
+              (List.length trace.TF.events));
+        0
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(
+      const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
+      $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ chrome $ out)
+
+let () =
+  let doc = "Lock-free allocator observability: record / report / export." in
+  let info = Cmd.info "trace" ~doc ~version:"%%VERSION%%" in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_cmd; record_cmd; report_cmd; export_cmd ]))

@@ -198,6 +198,7 @@ let update_active t heap desc morecredits =
       end
     in
     return_credits ();
+    Rt.obs_event t.rt Rt.Obs.Transition "sb.active->partial";
     Rt.label t.rt Labels.ua_return_credits;
     heap_put_partial t desc
   end
@@ -295,8 +296,10 @@ let malloc_from_active t heap =
       in
       Rt.label t.rt Labels.ma_popped;
       (* lines 19-20 *)
-      if took_last && Anchor.count oldanchor > 0 then
-        update_active t heap desc morecredits;
+      if took_last then
+        if Anchor.count oldanchor > 0 then
+          update_active t heap desc morecredits
+        else Rt.obs_event t.rt Rt.Obs.Transition "sb.active->full";
       Some (finish_block t desc addr)
 
 (* ------------------------------------------------------------------ *)
@@ -341,6 +344,9 @@ let rec malloc_from_partial t heap =
           Desc_pool.retire t.pool desc;
           malloc_from_partial t heap
       | Some morecredits ->
+          Rt.obs_event t.rt Rt.Obs.Transition
+            (if morecredits > 0 then "sb.partial->active"
+             else "sb.partial->full");
           (* Pop the reserved block (lines 11-15). *)
           let addr, _, () =
             pop_block t desc ~label:Labels.mp_pop_cas
@@ -384,6 +390,7 @@ let malloc_from_new_sb t heap =
   (* line 13 *)
   if Rt.Atomic.compare_and_set heap.active Active_word.null newactive then begin
     (* lines 14-15: take block 0. *)
+    Rt.obs_event t.rt Rt.Obs.Transition "sb.new->active";
     Some (finish_block t desc sb)
   end
   else begin
@@ -493,11 +500,13 @@ let free_small t base prefix =
   match push () with
   | _, true, heap_gid ->
       (* lines 19-21 *)
+      Rt.obs_event t.rt Rt.Obs.Transition "sb.empty";
       Rt.label t.rt Labels.free_empty;
       Store.free_superblock t.store sb;
       remove_empty_desc t (heap_of_gid t heap_gid) desc
   | Anchor.Full, false, _ ->
       (* lines 22-23: first free into a FULL superblock. *)
+      Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
       heap_put_partial t desc
   | (Anchor.Active | Anchor.Partial | Anchor.Empty), false, _ -> ()
 

@@ -59,7 +59,7 @@ let linux_params = function
   | Full -> { W.Linux_scalability.quick with pairs = 20_000 }
 
 let threadtest_params = function
-  | Quick -> { W.Threadtest.quick with iterations = 4; blocks = 500 }
+  | Quick -> Traced.threadtest_quick
   | Full -> { W.Threadtest.quick with iterations = 10; blocks = 2_000 }
 
 let active_false_params = function
@@ -74,8 +74,7 @@ let larson_params = function
   | Full -> { W.Larson.quick with slots_per_thread = 256; rounds = 10_000 }
 
 let pc_params ~work = function
-  | Quick -> { (W.Producer_consumer.with_work W.Producer_consumer.quick work)
-               with W.Producer_consumer.tasks = 300 }
+  | Quick -> Traced.pc_quick ~work
   | Full -> { (W.Producer_consumer.with_work W.Producer_consumer.quick work)
               with W.Producer_consumer.tasks = 3_000 }
 
@@ -603,15 +602,19 @@ let contention_sites mode seed =
     ]
   in
   let rows =
+    (* Counters come from the observability layer (lib/obs), the same
+       computation `bin/trace.exe report` performs — not from a bespoke
+       census. Tracing is host-side only, so these numbers are identical
+       to an untraced run's striped retry counters (tested in
+       test_obs). *)
     List.concat_map
       (fun (wname, wl) ->
-        let sim = make_sim ~seed () in
-        let rt = Rt.simulated sim in
-        let t = Mm_core.Lf_alloc.create rt (Cfg.make ~nheaps:1 ()) in
-        let inst = Mm_mem.Alloc_intf.Inst ((module Mm_core.Lf_alloc), t) in
-        ignore (wl inst ~threads:16);
-        let mallocs, frees = Mm_core.Lf_alloc.op_counts t in
-        let ops = mallocs + frees in
+        let c =
+          Traced.capture ~nheaps:1 ~name:wname ~threads:16 ~seed wl
+        in
+        let agg = Option.get c.Traced.metric.Metrics.obs in
+        let m = c.Traced.trace.Mm_obs.Trace_file.meta in
+        let ops = m.Mm_obs.Trace_file.mallocs + m.Mm_obs.Trace_file.frees in
         List.map
           (fun (site, n) ->
             [
@@ -619,7 +622,7 @@ let contention_sites mode seed =
               string_of_int n;
               Printf.sprintf "%.2f" (1000.0 *. float_of_int n /. float_of_int ops);
             ])
-          (Mm_core.Lf_alloc.retry_counts t))
+          (Traced.core_retry_counts agg))
       workloads
   in
   {

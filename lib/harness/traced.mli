@@ -1,0 +1,64 @@
+(** Traced workload runs: a workload executed under an [Mm_obs] tracer
+    on the deterministic simulator, plus the allocator-specific reading
+    of the resulting counters. Shared by [bin/trace.exe] and the
+    [contention-sites] experiment, so the EXPERIMENTS.md census and the
+    CLI report are the same computation. *)
+
+val threadtest_quick : Mm_workloads.Threadtest.params
+(** The quick-mode parameters shared with [Experiments] (so the CLI
+    report and the EXPERIMENTS.md census describe the same run). *)
+
+val pc_quick : work:int -> Mm_workloads.Producer_consumer.params
+
+type capture = {
+  trace : Mm_obs.Trace_file.t;
+  metric : Mm_workloads.Metrics.t;  (** with [obs] populated *)
+  retry_counts : (string * int) list;
+      (** the lock-free allocator's own striped retry census
+          ([Lf_alloc.retry_counts]); [[]] for other allocators. Obs
+          must agree with it — tested in [test_obs]. *)
+}
+
+val capture :
+  ?cpus:int ->
+  ?nheaps:int ->
+  ?capacity:int ->
+  ?allocator:string ->
+  name:string ->
+  threads:int ->
+  seed:int ->
+  (Mm_mem.Alloc_intf.instance -> threads:int -> Mm_workloads.Metrics.t) ->
+  capture
+(** Fresh simulator (16 CPUs, the experiments' cycle budget), fresh
+    heap of [allocator] (default ["new"]) with [nheaps] processor heaps
+    (default = [cpus]), tracer installed around the workload body.
+    Tracing is host-side only: the simulated run is bit-identical to an
+    untraced one. *)
+
+(** {2 The paper's §4.2.3 contention sites}
+
+    Label groups from PR 1's CAS-site audit: one site may be CASed from
+    several figure lines, hence several labels. *)
+
+val core_sites : (string * string list) list
+val core_retry_counts : Mm_obs.Agg.t -> (string * int) list
+
+(** {2 Named workloads (quick parameters) for the CLI} *)
+
+val workloads :
+  (string
+  * (Mm_mem.Alloc_intf.instance -> threads:int -> Mm_workloads.Metrics.t))
+  list
+
+val find_workload :
+  string ->
+  (Mm_mem.Alloc_intf.instance -> threads:int -> Mm_workloads.Metrics.t)
+  option
+
+val report_lines : Mm_obs.Trace_file.t -> string list
+(** The [bin/trace.exe report] rendering: run header, per-site retry
+    table (retries per 1k allocator ops when op counts are available),
+    per-label CAS table, transition census, scan/mmap counts. *)
+
+val report_json : Mm_obs.Trace_file.t -> Mm_obs.Json.t
+(** Machine-readable form of the same report (the CI artifact). *)

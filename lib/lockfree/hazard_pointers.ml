@@ -46,6 +46,7 @@ let protected_snapshot t =
   !acc
 
 let scan t =
+  Rt.obs_event t.rt Rt.Obs.Hp_scan "hp.scan";
   let me = Rt.self t.rt in
   let plist = protected_snapshot t in
   (* Detach each node from the retirement list BEFORE handing it to

@@ -79,6 +79,7 @@ let round_pages n = (n + page - 1) / page * page
 let mmap t ~len ~slices ~slice_len =
   Rt.syscall t.rt;
   Rt.Atomic.incr t.mmap_calls;
+  Rt.obs_event t.rt Rt.Obs.Mmap "store.mmap";
   Space.add_mapped t.space (round_pages len);
   let bytes = Bytes.make len '\000' in
   List.init slices (fun i ->
@@ -95,6 +96,7 @@ let alloc_superblock t =
            still pays and counts a real mmap. *)
         Rt.syscall t.rt;
         Rt.Atomic.incr t.mmap_calls;
+        Rt.obs_event t.rt Rt.Obs.Mmap "store.mmap";
         Space.add_mapped t.space t.sbsize
       end;
       (match Rt.Atomic.get t.regions.(id) with

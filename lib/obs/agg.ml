@@ -1,0 +1,71 @@
+type site = {
+  label : string;
+  cas_ok : int;
+  cas_fail : int;
+  transitions : int;
+  hp_scans : int;
+  mmaps : int;
+}
+
+type t = {
+  sites : site list;
+  total : int;
+  dropped : int;
+  by_kind : (Event.kind * int) list;
+}
+
+let empty_site label =
+  { label; cas_ok = 0; cas_fail = 0; transitions = 0; hp_scans = 0; mmaps = 0 }
+
+let bump s (kind : Event.kind) =
+  match kind with
+  | Cas_ok -> { s with cas_ok = s.cas_ok + 1 }
+  | Cas_fail -> { s with cas_fail = s.cas_fail + 1 }
+  | Transition -> { s with transitions = s.transitions + 1 }
+  | Hp_scan -> { s with hp_scans = s.hp_scans + 1 }
+  | Mmap -> { s with mmaps = s.mmaps + 1 }
+
+let of_events ~dropped events =
+  let tbl : (string, site) Hashtbl.t = Hashtbl.create 64 in
+  let kinds = Hashtbl.create 8 in
+  let total = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      incr total;
+      let s =
+        Option.value (Hashtbl.find_opt tbl e.label)
+          ~default:(empty_site e.label)
+      in
+      Hashtbl.replace tbl e.label (bump s e.kind);
+      Hashtbl.replace kinds e.kind
+        (1 + Option.value (Hashtbl.find_opt kinds e.kind) ~default:0))
+    events;
+  let sites =
+    Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+    |> List.sort (fun a b -> compare a.label b.label)
+  in
+  let by_kind =
+    List.map
+      (fun k -> (k, Option.value (Hashtbl.find_opt kinds k) ~default:0))
+      Event.all_kinds
+  in
+  { sites; total = !total; dropped; by_kind }
+
+let site t label = List.find_opt (fun s -> s.label = label) t.sites
+let cas_fail t label = match site t label with None -> 0 | Some s -> s.cas_fail
+
+let retries t ~labels =
+  List.fold_left (fun n l -> n + cas_fail t l) 0 labels
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d events (%d dropped)@," t.total t.dropped;
+  List.iter
+    (fun (k, n) ->
+      if n > 0 then Format.fprintf fmt "  %-10s %d@," (Event.kind_name k) n)
+    t.by_kind;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %-22s ok=%-7d fail=%-7d tr=%-4d hp=%-4d mmap=%d@,"
+        s.label s.cas_ok s.cas_fail s.transitions s.hp_scans s.mmaps)
+    t.sites;
+  Format.fprintf fmt "@]"

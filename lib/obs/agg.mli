@@ -1,0 +1,30 @@
+(** Aggregation: a stream of events folded into per-site counters. *)
+
+type site = {
+  label : string;
+  cas_ok : int;
+  cas_fail : int;  (** failed CAS = one retry of that site's loop *)
+  transitions : int;
+  hp_scans : int;
+  mmaps : int;
+}
+
+type t = {
+  sites : site list;  (** sorted by label *)
+  total : int;  (** recorded events *)
+  dropped : int;  (** lost to ring overflow *)
+  by_kind : (Event.kind * int) list;  (** in [Event.all_kinds] order *)
+}
+
+val of_events : dropped:int -> Event.t list -> t
+val site : t -> string -> site option
+
+val cas_fail : t -> string -> int
+(** Failed-CAS count at one label site (0 when never seen). *)
+
+val retries : t -> labels:string list -> int
+(** Sum of {!cas_fail} over a label group — one "contention site" may
+    cover several registry labels (e.g. the Active word is CASed from
+    both MallocFromActive and UpdateActive). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+let event_to_json (e : Event.t) =
+  Json.Obj
+    [
+      ("name", Json.Str e.label);
+      ("cat", Json.Str (Event.kind_name e.kind));
+      ("ph", Json.Str "i");
+      ("ts", Json.Int e.cycle);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int e.tid);
+      ("s", Json.Str "t");
+    ]
+
+let to_json ?(process_name = "mmalloc") ~dropped events =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (meta :: List.map event_to_json events));
+      ("displayTimeUnit", Json.Str "ns");
+      ("otherData", Json.Obj [ ("dropped", Json.Int dropped) ]);
+    ]
+
+let to_string ?process_name ~dropped events =
+  Json.to_string (to_json ?process_name ~dropped events)
+
+let ( let* ) r f = Result.bind r f
+
+let event_of_json j =
+  match Json.member "ph" j with
+  | Some (Json.Str "i") -> (
+      let field name conv =
+        match Option.bind (Json.member name j) conv with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "chrome event: bad %S field" name)
+      in
+      let* label = field "name" Json.to_str in
+      let* cat = field "cat" Json.to_str in
+      let* cycle = field "ts" Json.to_int in
+      let* tid = field "tid" Json.to_int in
+      match Event.kind_of_name cat with
+      | Some kind -> Ok (Some { Event.tid; label; kind; cycle })
+      | None -> Error (Printf.sprintf "chrome event: unknown cat %S" cat))
+  | _ -> Ok None (* metadata or foreign phase: skip *)
+
+let of_json j =
+  let* items =
+    match Option.bind (Json.member "traceEvents" j) Json.to_list with
+    | Some xs -> Ok xs
+    | None -> Error "chrome trace: no traceEvents array"
+  in
+  let* events =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* ev = event_of_json item in
+        Ok (match ev with Some e -> e :: acc | None -> acc))
+      (Ok []) items
+  in
+  let dropped =
+    match
+      Option.bind
+        (Option.bind (Json.member "otherData" j) (Json.member "dropped"))
+        Json.to_int
+    with
+    | Some d -> d
+    | None -> 0
+  in
+  Ok (List.rev events, dropped)
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j

@@ -1,0 +1,16 @@
+(** chrome://tracing (Trace Event Format, JSON object form) export.
+
+    Each event becomes an instant event: [name] = site label, [cat] =
+    kind, [ts] = cycle (microsecond column reused for virtual cycles),
+    [tid] = recording thread, [pid] = 0. Load the output in
+    chrome://tracing or https://ui.perfetto.dev. [otherData] carries
+    the dropped-event count so overflow is visible in the export too. *)
+
+val to_json : ?process_name:string -> dropped:int -> Event.t list -> Json.t
+val to_string : ?process_name:string -> dropped:int -> Event.t list -> string
+
+val of_json : Json.t -> (Event.t list * int, string) result
+(** Decode a trace produced by {!to_json} (metadata events are
+    ignored): the events plus the recorded dropped count. *)
+
+val of_string : string -> (Event.t list * int, string) result

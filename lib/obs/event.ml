@@ -1,0 +1,29 @@
+type kind = Mm_runtime.Rt.Obs.kind =
+  | Cas_ok
+  | Cas_fail
+  | Transition
+  | Hp_scan
+  | Mmap
+
+type t = { tid : int; label : string; kind : kind; cycle : int }
+
+let all_kinds = [ Cas_ok; Cas_fail; Transition; Hp_scan; Mmap ]
+
+let kind_name = function
+  | Cas_ok -> "cas_ok"
+  | Cas_fail -> "cas_fail"
+  | Transition -> "transition"
+  | Hp_scan -> "hp_scan"
+  | Mmap -> "mmap"
+
+let kind_of_name = function
+  | "cas_ok" -> Some Cas_ok
+  | "cas_fail" -> Some Cas_fail
+  | "transition" -> Some Transition
+  | "hp_scan" -> Some Hp_scan
+  | "mmap" -> Some Mmap
+  | _ -> None
+
+let pp fmt e =
+  Format.fprintf fmt "[%d @ %d] %s %s" e.tid e.cycle (kind_name e.kind)
+    e.label

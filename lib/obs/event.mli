@@ -1,0 +1,28 @@
+(** One recorded observability event (DESIGN.md §12). *)
+
+type kind = Mm_runtime.Rt.Obs.kind =
+  | Cas_ok
+  | Cas_fail
+  | Transition
+  | Hp_scan
+  | Mmap
+
+type t = {
+  tid : int;  (** recording thread (body index under [Rt.parallel_run]) *)
+  label : string;
+      (** site: an [Rt.label] registry name for CAS events, an event
+          name ("sb.full->partial", "store.mmap", ...) otherwise *)
+  kind : kind;
+  cycle : int;
+      (** [Sim.now_cycles] under simulation; a global ordinal on the
+          real runtime *)
+}
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+(** Stable lowercase name ("cas_ok", ...) used in reports and JSON. *)
+
+val kind_of_name : string -> kind option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Minimal self-contained JSON, enough for the trace file formats.
+    No external dependency; encoder and decoder round-trip each other.
+    Numbers without [.]/[e] parse as [Int], everything else as
+    [Float]; strings support the standard escapes incl. [\uXXXX]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** [Error] carries a position-annotated parse diagnostic. *)
+
+(** Accessors: [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

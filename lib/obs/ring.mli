@@ -1,0 +1,33 @@
+(** Per-thread fixed-capacity lock-free event ring (DESIGN.md §12).
+
+    Single writer (the owning thread), any number of concurrent
+    {!snapshot} readers. Overflow policy is {e drop}, never overwrite:
+    a published slot is immutable for the ring's lifetime, which is
+    what makes the snapshot torn-read-free — the collector copies the
+    prefix \[0, head) and every slot in it was fully written before
+    [head] was advanced past it. Dropped events are counted, not
+    silent. Recording neither allocates nor takes a lock. *)
+
+type t
+
+val create : tid:int -> capacity:int -> t
+val tid : t -> int
+val capacity : t -> int
+
+val record : t -> kind:Event.kind -> label:string -> cycle:int -> unit
+(** Append one event; drops (and counts) it when the ring is full.
+    Must only be called by the owning thread. *)
+
+val length : t -> int
+(** Number of events published so far (monotone; never exceeds
+    [capacity]). Safe from any thread. *)
+
+val dropped : t -> int
+(** Events lost to overflow. The count is maintained by the writer with
+    plain stores; read it quiescently (after the run) for an exact
+    value. *)
+
+val snapshot : t -> Event.t array
+(** Consistent copy of everything published so far, in recording order.
+    Safe to call while the writer is still recording: returns exactly
+    the events whose publication happened before the [head] read. *)

@@ -1,0 +1,135 @@
+type meta = {
+  workload : string;
+  allocator : string;
+  threads : int;
+  seed : int;
+  nheaps : int;
+  cpus : int;
+  ops : int;
+  mallocs : int;
+  frees : int;
+  capacity : int;
+}
+
+type t = { meta : meta; dropped : int; events : Event.t list }
+
+let meta_to_json m =
+  Json.Obj
+    [
+      ("workload", Json.Str m.workload);
+      ("allocator", Json.Str m.allocator);
+      ("threads", Json.Int m.threads);
+      ("seed", Json.Int m.seed);
+      ("nheaps", Json.Int m.nheaps);
+      ("cpus", Json.Int m.cpus);
+      ("ops", Json.Int m.ops);
+      ("mallocs", Json.Int m.mallocs);
+      ("frees", Json.Int m.frees);
+      ("capacity", Json.Int m.capacity);
+    ]
+
+(* Events as a columnar quadruple array: compact and trivially
+   streamable. *)
+let to_json t =
+  Json.Obj
+    [
+      ("format", Json.Str "mmalloc-trace/1");
+      ("meta", meta_to_json t.meta);
+      ("dropped", Json.Int t.dropped);
+      ( "events",
+        Json.Arr
+          (List.map
+             (fun (e : Event.t) ->
+               Json.Arr
+                 [
+                   Json.Int e.tid;
+                   Json.Str (Event.kind_name e.kind);
+                   Json.Str e.label;
+                   Json.Int e.cycle;
+                 ])
+             t.events) );
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let need name = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "trace file: bad or missing %S" name)
+
+let jint j name = need name (Option.bind (Json.member name j) Json.to_int)
+let jstr j name = need name (Option.bind (Json.member name j) Json.to_str)
+
+let meta_of_json j =
+  let* workload = jstr j "workload" in
+  let* allocator = jstr j "allocator" in
+  let* threads = jint j "threads" in
+  let* seed = jint j "seed" in
+  let* nheaps = jint j "nheaps" in
+  let* cpus = jint j "cpus" in
+  let* ops = jint j "ops" in
+  let* mallocs = jint j "mallocs" in
+  let* frees = jint j "frees" in
+  let* capacity = jint j "capacity" in
+  Ok
+    {
+      workload;
+      allocator;
+      threads;
+      seed;
+      nheaps;
+      cpus;
+      ops;
+      mallocs;
+      frees;
+      capacity;
+    }
+
+let event_of_json = function
+  | Json.Arr [ Json.Int tid; Json.Str kind; Json.Str label; Json.Int cycle ]
+    -> (
+      match Event.kind_of_name kind with
+      | Some kind -> Ok { Event.tid; label; kind; cycle }
+      | None -> Error (Printf.sprintf "trace file: unknown kind %S" kind))
+  | _ -> Error "trace file: malformed event row"
+
+let of_json j =
+  let* fmt = jstr j "format" in
+  let* () =
+    if fmt = "mmalloc-trace/1" then Ok ()
+    else Error (Printf.sprintf "trace file: unsupported format %S" fmt)
+  in
+  let* meta = need "meta" (Json.member "meta" j) in
+  let* meta = meta_of_json meta in
+  let* dropped = jint j "dropped" in
+  let* rows = need "events" (Option.bind (Json.member "events" j) Json.to_list) in
+  let* events =
+    List.fold_left
+      (fun acc row ->
+        let* acc = acc in
+        let* e = event_of_json row in
+        Ok (e :: acc))
+      (Ok []) rows
+  in
+  Ok { meta; dropped; events = List.rev events }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Json.to_buffer buf (to_json t);
+      Buffer.output_buffer oc buf;
+      output_char oc '\n')
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Result.bind (Json.of_string s) of_json
+  | exception Sys_error msg -> Error msg
+
+let agg t = Agg.of_events ~dropped:t.dropped t.events

@@ -1,0 +1,26 @@
+(** The native on-disk trace format: run metadata + the raw events,
+    as JSON. [bin/trace.exe record] writes it; [report] and [export]
+    read it back. *)
+
+type meta = {
+  workload : string;
+  allocator : string;
+  threads : int;
+  seed : int;
+  nheaps : int;
+  cpus : int;
+  ops : int;  (** workload-defined work units *)
+  mallocs : int;  (** allocator op census (0 when not available) *)
+  frees : int;
+  capacity : int;  (** per-thread ring capacity used *)
+}
+
+type t = { meta : meta; dropped : int; events : Event.t list }
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+val agg : t -> Agg.t
+(** Aggregate the stored events (with the stored dropped count). *)

@@ -1,0 +1,43 @@
+open Mm_runtime
+
+type t = { cap : int; rings : Ring.t array }
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  {
+    cap = capacity;
+    rings = Array.init Rt.max_threads (fun tid -> Ring.create ~tid ~capacity);
+  }
+
+let capacity t = t.cap
+
+let install t =
+  Rt.Obs.set_hook
+    (Some
+       (fun ~tid ~kind ~label ~cycle ->
+         Ring.record t.rings.(tid) ~kind ~label ~cycle))
+
+let uninstall () = Rt.Obs.set_hook None
+let ring t tid = t.rings.(tid)
+
+let events t =
+  let all =
+    Array.to_list t.rings
+    |> List.concat_map (fun r -> Array.to_list (Ring.snapshot r))
+  in
+  (* Stable sort: per-ring recording order breaks cycle+tid ties. *)
+  List.stable_sort
+    (fun (a : Event.t) (b : Event.t) ->
+      match compare a.cycle b.cycle with
+      | 0 -> compare a.tid b.tid
+      | c -> c)
+    all
+
+let dropped t = Array.fold_left (fun n r -> n + Ring.dropped r) 0 t.rings
+
+let with_tracing ?capacity f =
+  let t = create ?capacity () in
+  install t;
+  let r = Fun.protect ~finally:uninstall f in
+  (r, t)

@@ -16,6 +16,79 @@ let line_counter = Stdlib.Atomic.make 0
 let fresh_line () = -1 - Stdlib.Atomic.fetch_and_add line_counter 1
 
 (* ------------------------------------------------------------------ *)
+(* Thread identity (declared early: the observability hook below needs
+   it to attribute events on the real runtime). *)
+
+let dls_self : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Observability hook (lib/obs).
+
+   Recording runs on the HOST side only: it never calls Sim.step_* and
+   never goes through Rt.atomic, so a simulated run produces the same
+   schedule, cycle counts and counters whether tracing is on or off.
+   Timestamps are Sim.now_cycles under simulation and a global event
+   ordinal on the real runtime. *)
+
+module Obs = struct
+  type kind = Cas_ok | Cas_fail | Transition | Hp_scan | Mmap
+
+  (* Compile-time master switch: flip to [false] and every recording
+     site in this file folds to dead code, so the zero-tracing build
+     carries no hot-path cost at all. With it [true] (the default) and
+     no hook installed, each site costs one load and one branch. *)
+  let compiled = true
+
+  let no_label = "(none)"
+
+  (* CAS attribution: the last label each thread passed. One writer per
+     slot (the thread itself) and the only reader is that same thread's
+     next CAS event, so plain stores suffice. *)
+  let last_label = Array.make max_threads no_label
+
+  let hook :
+      (tid:int -> kind:kind -> label:string -> cycle:int -> unit) option ref =
+    ref None
+
+  let set_hook h =
+    (match h with
+    | Some _ -> Array.fill last_label 0 max_threads no_label
+    | None -> ());
+    hook := h
+
+  let hook_installed () = match !hook with Some _ -> true | None -> false
+
+  (* Event ordinals for the real runtime, which has no virtual clock. *)
+  let real_clock = Stdlib.Atomic.make 0
+end
+
+let obs_tid ~in_sim =
+  if in_sim then Sim.self_tid () else Domain.DLS.get dls_self
+
+let obs_cycle ~in_sim =
+  if in_sim then Sim.now_cycles ()
+  else Stdlib.Atomic.fetch_and_add Obs.real_clock 1
+
+let obs_cas ~in_sim ok =
+  match !Obs.hook with
+  | None -> ()
+  | Some f ->
+      let tid = obs_tid ~in_sim in
+      f ~tid
+        ~kind:(if ok then Obs.Cas_ok else Obs.Cas_fail)
+        ~label:Obs.last_label.(tid) ~cycle:(obs_cycle ~in_sim)
+
+let obs_event rt kind name =
+  if Obs.compiled then
+    match !Obs.hook with
+    | None -> ()
+    | Some f ->
+        let in_sim =
+          match rt with Real -> false | Simulated _ -> Sim.in_sim ()
+        in
+        f ~tid:(obs_tid ~in_sim) ~kind ~label:name ~cycle:(obs_cycle ~in_sim)
+
+(* ------------------------------------------------------------------ *)
 (* Atomics. *)
 
 type 'a atomic =
@@ -45,15 +118,17 @@ module Atomic = struct
 
   let compare_and_set at expected desired =
     match at with
-    | Real_at a -> Stdlib.Atomic.compare_and_set a expected desired
+    | Real_at a ->
+        let ok = Stdlib.Atomic.compare_and_set a expected desired in
+        if Obs.compiled then obs_cas ~in_sim:false ok;
+        ok
     | Sim_at r ->
         (* Even a failing CAS acquires the line exclusively. *)
         if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:true;
-        if r.v == expected then begin
-          r.v <- desired;
-          true
-        end
-        else false
+        let ok = r.v == expected in
+        if ok then r.v <- desired;
+        if Obs.compiled then obs_cas ~in_sim:(Sim.in_sim ()) ok;
+        ok
 
   let fetch_and_add (at : int atomic) n =
     match at with
@@ -134,14 +209,17 @@ let syscall = function
 let real_label_hook : (string -> unit) ref = ref (fun _ -> ())
 
 let label rt l =
+  (if Obs.compiled && Obs.hook_installed () then
+     let in_sim =
+       match rt with Real -> false | Simulated _ -> Sim.in_sim ()
+     in
+     Obs.last_label.(obs_tid ~in_sim) <- l);
   match rt with
   | Real -> !real_label_hook l
   | Simulated _ -> if Sim.in_sim () then Sim.step_label l
 
 (* ------------------------------------------------------------------ *)
 (* Thread identity. *)
-
-let dls_self : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 
 let self = function
   | Real -> Domain.DLS.get dls_self

@@ -104,6 +104,46 @@ val real_label_hook : (string -> unit) ref
 (** Hook invoked by {!label} on the real runtime; defaults to a no-op.
     Real-runtime stress tests install yield/noise injectors here. *)
 
+(** {2 Observability}
+
+    Event recording for [lib/obs] (DESIGN.md §12). The hook runs on the
+    {e host} side: it is never charged to the simulator's cost model and
+    never goes through {!Atomic}, so a simulated run is bit-identical —
+    same schedule, cycles, counters — with tracing on or off. *)
+
+module Obs : sig
+  type kind =
+    | Cas_ok  (** a {!Atomic.compare_and_set} that succeeded *)
+    | Cas_fail  (** a {!Atomic.compare_and_set} that failed (one retry) *)
+    | Transition  (** superblock state change (lib/core) *)
+    | Hp_scan  (** hazard-pointer scan (lib/lockfree) *)
+    | Mmap  (** simulated mmap syscall (lib/mem) *)
+
+  val compiled : bool
+  (** Compile-time master switch (a literal in [rt.ml]): when flipped to
+      [false] every recording site folds to dead code and the build has
+      no tracing cost at all. [true] by default; with no hook installed
+      each site then costs one load and one branch. *)
+
+  val set_hook :
+    (tid:int -> kind:kind -> label:string -> cycle:int -> unit) option ->
+    unit
+  (** Install (or, with [None], remove) the recording hook. The hook is
+      called from the recording thread and must be allocation-free and
+      non-blocking (lib/obs writes into a per-thread ring). [label] is
+      the event's site: for CAS events, the last {!label} the thread
+      passed; [cycle] is [Sim.now_cycles] under simulation, a global
+      event ordinal on the real runtime. Installing resets the per-thread
+      label attribution. *)
+
+  val hook_installed : unit -> bool
+end
+
+val obs_event : t -> Obs.kind -> string -> unit
+(** Emit one explicit event ({!Obs.Transition} / {!Obs.Hp_scan} /
+    {!Obs.Mmap}) with the given site name. No-op unless a hook is
+    installed; never charged to the simulation. *)
+
 val self : t -> int
 (** Dense id of the calling thread: the body index under {!parallel_run},
     0 on the main thread. *)

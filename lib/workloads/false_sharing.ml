@@ -42,4 +42,4 @@ let run instance ~threads p =
     ~workload:(if p.passive then "passive-false" else "active-false")
     ~instance ~threads
     ~ops:(threads * p.pairs)
-    ~run
+    ~run ()

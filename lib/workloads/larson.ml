@@ -45,4 +45,4 @@ let run instance ~threads p =
   (* Drain so invariants can be checked by callers. *)
   Array.iter (fun arr -> Array.iter (instance_free instance) arr) slots;
   Metrics.make ~workload:"larson" ~instance ~threads
-    ~ops:(threads * p.rounds) ~run
+    ~ops:(threads * p.rounds) ~run ()

@@ -16,4 +16,4 @@ let run instance ~threads p =
   in
   let run = Rt.parallel_run rt (Array.make threads body) in
   Metrics.make ~workload:"linux-scalability" ~instance ~threads
-    ~ops:(threads * p.pairs) ~run
+    ~ops:(threads * p.pairs) ~run ()

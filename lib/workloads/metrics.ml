@@ -11,9 +11,11 @@ type t = {
   space : Mm_mem.Space.snapshot;
   os : Mm_mem.Store.os_stats;
   sim : Sim.counters option;
+  obs : Mm_obs.Agg.t option;
+      (* per-site event counters, when the run was traced *)
 }
 
-let make ~workload ~instance ~threads ~ops ~run =
+let make ?obs ~workload ~instance ~threads ~ops ~run () =
   let open Mm_mem.Alloc_intf in
   let elapsed = run.Rt.elapsed in
   {
@@ -29,6 +31,7 @@ let make ~workload ~instance ~threads ~ops ~run =
     sim = (match run.Rt.sim_result with
           | Some r -> Some r.Sim.counters
           | None -> None);
+    obs;
   }
 
 let pp fmt t =

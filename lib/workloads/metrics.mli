@@ -11,14 +11,18 @@ type t = {
   space : Mm_mem.Space.snapshot;
   os : Mm_mem.Store.os_stats;
   sim : Mm_runtime.Sim.counters option;
+  obs : Mm_obs.Agg.t option;
+      (** per-site event counters ([Mm_obs]), when the run was traced *)
 }
 
 val make :
+  ?obs:Mm_obs.Agg.t ->
   workload:string ->
   instance:Mm_mem.Alloc_intf.instance ->
   threads:int ->
   ops:int ->
   run:Mm_runtime.Rt.run_result ->
+  unit ->
   t
 
 val pp : Format.formatter -> t -> unit

@@ -126,4 +126,4 @@ let run instance ~threads p =
   let run = Rt.parallel_run rt bodies in
   assert (Rt.Atomic.get consumed = p.tasks);
   Metrics.make ~workload:"producer-consumer" ~instance ~threads ~ops:p.tasks
-    ~run
+    ~run ()

@@ -37,4 +37,4 @@ let run instance ~threads p =
   in
   let run = Rt.parallel_run rt (Array.init threads (fun i _ -> body i)) in
   Metrics.make ~workload:"shbench" ~instance ~threads
-    ~ops:(threads * p.rounds) ~run
+    ~ops:(threads * p.rounds) ~run ()

@@ -22,4 +22,4 @@ let run instance ~threads p =
   let run = Rt.parallel_run rt (Array.make threads body) in
   Metrics.make ~workload:"threadtest" ~instance ~threads
     ~ops:(threads * p.iterations * p.blocks)
-    ~run
+    ~run ()

@@ -157,4 +157,4 @@ let run instance t =
   in
   let run = Rt.parallel_run rt (Array.init t.threads (fun i _ -> body i)) in
   Metrics.make ~workload:"trace" ~instance ~threads:t.threads
-    ~ops:(Array.length t.events) ~run
+    ~ops:(Array.length t.events) ~run ()

@@ -11,5 +11,13 @@ dune build
 mkdir -p _build/ci
 dune exec bin/lint.exe -- --root . --format json lib bin \
   > _build/ci/lint-report.json || true
+# Machine-readable contention census (DESIGN.md §12): the threadtest
+# failed-CAS report on the seeded simulator, archived so per-site retry
+# rates are diffable across commits.
+dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
+  --format json > _build/ci/trace-report.json || true
 dune build @lint
 dune runtest
+# Executable docs: run every fenced `dune exec` command in README.md,
+# EXPERIMENTS.md and DESIGN.md (scripts/doc_check.sh).
+dune build @doc-check

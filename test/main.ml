@@ -23,4 +23,5 @@ let () =
       ("metrics", Test_metrics.cases);
       ("check", Test_check.cases);
       ("lint", Test_lint.cases);
+      ("obs", Test_obs.cases);
     ]

@@ -11,7 +11,7 @@ let mk ~ops f =
     Rt.parallel_run Rt.real
       [| (fun _ -> f inst) |]
   in
-  Metrics.make ~workload:"unit" ~instance:inst ~threads:1 ~ops ~run
+  Metrics.make ~workload:"unit" ~instance:inst ~threads:1 ~ops ~run ()
 
 let burst inst =
   let addrs =
