@@ -9,12 +9,18 @@
       paper-style tables with the paper's expectation alongside.
 
    MM_BENCH_FULL=1 selects the full parameter sets (slower);
-   MM_BENCH_SEED overrides the simulation seed. *)
+   MM_BENCH_SEED overrides the simulation seed.
+   MM_BENCH_JSON=path (or --json [path], default BENCH.json) also writes
+   every bechamel estimate and experiment table as machine-readable JSON
+   so bench trajectories are diffable across commits (BENCH_0.json is
+   the seed of that trajectory; scripts/ci.sh archives the current
+   run). *)
 
 open Bechamel
 open Toolkit
 module Cfg = Mm_mem.Alloc_config
 module I = Mm_mem.Alloc_intf
+module Json = Mm_obs.Json
 
 let real_cfg = Cfg.make ~nheaps:16 ()
 
@@ -51,7 +57,7 @@ let run_bechamel () =
   let tests =
     Test.make_grouped ~name:"latency"
       (List.map pair_test Mm_harness.Allocators.names
-      @ List.map larson_test [ "new"; "libc" ]
+      @ List.map larson_test Mm_harness.Allocators.names
       @ List.map lock_test
           [
             ("tas-backoff", Cfg.Tas_backoff);
@@ -70,23 +76,88 @@ let run_bechamel () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
         let est =
           match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> Printf.sprintf "%.1f ns" e
-          | _ -> "n/a"
+          | Some (e :: _) -> Some e
+          | _ -> None
         in
-        [ name; est ] :: acc)
+        (name, est) :: acc)
       results []
     |> List.sort compare
   in
   print_endline
     "== Bechamel: contention-free latency (real runtime, 1 thread) ==";
   List.iter print_endline
-    (Mm_harness.Render.table ~header:[ "benchmark"; "ns/op" ] ~rows);
-  print_newline ()
+    (Mm_harness.Render.table ~header:[ "benchmark"; "ns/op" ]
+       ~rows:
+         (List.map
+            (fun (name, est) ->
+              [
+                name;
+                (match est with
+                | Some e -> Printf.sprintf "%.1f ns" e
+                | None -> "n/a");
+              ])
+            estimates));
+  print_newline ();
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results. *)
+
+let json_path () =
+  match Sys.getenv_opt "MM_BENCH_JSON" with
+  | Some p -> Some p
+  | None ->
+      let rec find = function
+        | "--json" :: p :: _ when String.length p > 0 && p.[0] <> '-' ->
+            Some p
+        | [ "--json" ] | "--json" :: _ -> Some "BENCH.json"
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find (Array.to_list Sys.argv)
+
+let bench_json ~full ~seed estimates outcomes =
+  Json.Obj
+    [
+      ("format", Json.Str "mm-bench/1");
+      ("mode", Json.Str (if full then "full" else "quick"));
+      ("seed", Json.Int seed);
+      ( "bechamel",
+        Json.Arr
+          (List.map
+             (fun (name, est) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ( "ns_per_op",
+                     match est with
+                     | Some e -> Json.Float e
+                     | None -> Json.Null );
+                 ])
+             estimates) );
+      ( "experiments",
+        Json.Arr
+          (List.map
+             (fun (o : Mm_harness.Experiments.outcome) ->
+               Json.Obj
+                 [
+                   ("id", Json.Str o.Mm_harness.Experiments.id);
+                   ("title", Json.Str o.Mm_harness.Experiments.title);
+                   ( "expectation",
+                     Json.Str o.Mm_harness.Experiments.expectation );
+                   ( "lines",
+                     Json.Arr
+                       (List.map
+                          (fun l -> Json.Str l)
+                          o.Mm_harness.Experiments.lines) );
+                 ])
+             outcomes) );
+    ]
 
 let () =
   let full = Sys.getenv_opt "MM_BENCH_FULL" = Some "1" in
@@ -101,9 +172,20 @@ let () =
   Printf.printf "mmalloc bench harness (%s mode, seed %d)\n\n%!"
     (if full then "full" else "quick")
     seed;
-  run_bechamel ();
-  List.iter
-    (fun (id, _) ->
-      let o = Mm_harness.Experiments.run id ~mode ~seed in
-      Format.printf "%a%!" Mm_harness.Experiments.print_outcome o)
-    Mm_harness.Experiments.catalogue
+  let estimates = run_bechamel () in
+  let outcomes =
+    List.map
+      (fun (id, _) ->
+        let o = Mm_harness.Experiments.run id ~mode ~seed in
+        Format.printf "%a%!" Mm_harness.Experiments.print_outcome o;
+        o)
+      Mm_harness.Experiments.catalogue
+  in
+  match json_path () with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (bench_json ~full ~seed estimates outcomes));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "results written to %s\n%!" path

@@ -282,6 +282,34 @@ let quick_cmd =
         fail "lock-freedom monitor failed"
       end;
       Printf.printf "monitor: %d probes clean\n" (List.length m.M.entries);
+      (* 5. The block-cache frontend under the same exhaustive budget
+         and kill/stall monitor: batched refill/flush must preserve
+         address exclusivity, and a thread killed mid-refill/flush must
+         only leak its cached blocks, never double-allocate them. *)
+      let cached = Option.get (T.find "lf_alloc_cached") in
+      let r = E.exhaustive cached ~threads ~bound:3 ~budget:20_000 in
+      (match r.E.finding with
+      | Some f ->
+          fail "lf_alloc_cached violation: %s (%s)" f.E.error
+            (S.to_string f.E.minimized)
+      | None ->
+          Printf.printf "lf_alloc_cached exhaustive: clean (%d executions%s)\n"
+            r.E.executions
+            (if r.E.complete then ", complete" else ""));
+      let m = M.run cached ~threads ~modes:[ M.Kill; M.Stall ] ~rounds:2 in
+      if not m.M.ok then begin
+        List.iter
+          (fun (e : M.entry) ->
+            match e.M.result with
+            | Error msg when e.M.fired ->
+                Printf.eprintf "monitor %s %s round %d: %s\n" e.M.label
+                  (M.mode_name e.M.mode) e.M.round msg
+            | _ -> ())
+          m.M.entries;
+        fail "cached-frontend lock-freedom monitor failed"
+      end;
+      Printf.printf "cached monitor: %d probes clean\n"
+        (List.length m.M.entries);
       0
     with Exit -> 2
   in

@@ -55,7 +55,8 @@ let allocator_arg =
   Arg.(
     value & opt string "new"
     & info [ "allocator" ] ~docv:"A"
-        ~doc:"Allocator under trace (new, hoard, ptmalloc, libc).")
+        ~doc:"Allocator under trace (new, new-cached, hoard, ptmalloc, \
+              libc).")
 
 let input_arg =
   Arg.(

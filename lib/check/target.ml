@@ -107,6 +107,53 @@ let lf_alloc_notag =
     run = (fun ~threads -> alloc_run ~anchor_tag:false ~threads);
   }
 
+(* The cached-frontend target: same oracle workload through
+   Block_cache with a tiny cache (capacity 2, batch 2) so refills,
+   hits, overflow flushes and the batched bc.* CAS windows all fall
+   inside three mallocs + three frees per thread. A killed thread's
+   cached blocks leak, so kill runs skip quiescent conservation — the
+   exclusivity oracle still proves they are never handed out twice. *)
+let cached_cfg =
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:2 ~desc_scan_threshold:1
+    ~store_capacity:128 ~cache:true ~cache_blocks:2 ~cache_batch:2 ()
+
+let cached_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
+    ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let t = Mm_core.Block_cache.create rt cached_cfg in
+  let orc = Oracle.create_alloc () in
+  let m () =
+    let a = Mm_core.Block_cache.malloc t 8 in
+    Oracle.malloc_returned orc a;
+    a
+  in
+  let f a =
+    let p = Oracle.free_invoked orc a in
+    Mm_core.Block_cache.free t a;
+    Oracle.free_returned orc p
+  in
+  let body _tid =
+    let w = m () in
+    let a = m () in
+    let b = m () in
+    f w;
+    f a;
+    f b
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks then Mm_core.Block_cache.check_invariants t)
+
+let lf_alloc_cached =
+  {
+    name = "lf_alloc_cached";
+    doc = "block-cache frontend over the allocator; same exclusivity oracle";
+    default_threads = 2;
+    labels = Labels.all;
+    run = cached_run;
+  }
+
 (* MS queue target: per-thread enqueue/dequeue bursts checked against the
    per-producer FIFO oracle. Enqueues are recorded before invocation
    (so a concurrent dequeue of the value is never "thin air"), dequeues
@@ -282,7 +329,7 @@ let tagged_id_stack =
   }
 
 let all =
-  [ lf_alloc; lf_alloc_notag; ms_queue; desc_pool; treiber_stack;
-    tagged_id_stack ]
+  [ lf_alloc; lf_alloc_notag; lf_alloc_cached; ms_queue; desc_pool;
+    treiber_stack; tagged_id_stack ]
 
 let find name = List.find_opt (fun t -> t.name = name) all

@@ -41,6 +41,12 @@ val lf_alloc_notag : t
 (** Same workload with {!Mm_mem.Alloc_config.t.anchor_tag} off — the
     deliberately planted ABA bug the explorer must find. *)
 
+val lf_alloc_cached : t
+(** The same oracle workload through the block-cache frontend
+    ([Mm_core.Block_cache], cache capacity 2, batch 2), exercising the
+    batched refill/flush CAS windows. Expected clean: cached blocks of
+    a killed thread leak but are never double-allocated. *)
+
 val ms_queue : t
 val desc_pool : t
 

@@ -1,0 +1,55 @@
+(** Per-thread block-cache frontend over {!Lf_alloc} (DESIGN.md §13).
+
+    Not part of the paper: a single-owner, per-thread, per-size-class
+    LIFO of blocks layered in front of the Fig. 4/6 paths. A cache hit
+    or a cached free is pure thread-local array traffic — zero shared
+    accesses, zero CAS. A miss refills by reserving a whole batch of
+    credits in ONE CAS on the Active word and popping the batch with one
+    tag-bumping anchor CAS ({!Lf_alloc.refill_batch}); overflowing and
+    remote frees are pushed back in batches of one anchor CAS per
+    superblock ({!Lf_alloc.flush_batch}). Every shared-structure step is
+    therefore still lock-free, and the frontend adds no retry window
+    beyond the labelled batched CASes ([bc.*] in {!Labels}).
+
+    With [cfg.cache = false] (the default) every operation passes
+    straight through to the backend, preserving the verbatim paper
+    allocator bit-for-bit; the harness name ["new-cached"] forces it on.
+
+    Progress and safety: a thread delayed or killed anywhere loses at
+    most the blocks its own cache holds (they leak — they stay allocated
+    in the backend, so they can never be handed out twice and their
+    superblocks can never be reclaimed under a survivor); all other
+    threads keep completing, exactly as for the bare allocator. *)
+
+include Mm_mem.Alloc_intf.ALLOCATOR
+
+val backend : t -> Lf_alloc.t
+(** The wrapped paper allocator (retry census, introspection). *)
+
+type stats = {
+  hits : int;  (** mallocs served from the cache (no shared access) *)
+  misses : int;  (** mallocs that went to the backend *)
+  refills : int;  (** batched refills performed *)
+  refilled_blocks : int;  (** blocks obtained by those refills *)
+  flushes : int;  (** batched flushes (overflow, remote, explicit) *)
+  flushed_blocks : int;  (** blocks pushed back by those flushes *)
+  remote_frees : int;  (** frees of another heap's blocks (buffered) *)
+}
+
+val stats : t -> stats
+(** Striped counters, quiescent snapshot. *)
+
+val op_counts : t -> int * int
+(** Total [(mallocs, frees)] the application issued against this
+    instance (frontend view; falls back to the backend's counters when
+    the cache is disabled). *)
+
+val cached_blocks : t -> int
+(** Blocks currently parked in all thread caches and remote buffers
+    (quiescent snapshot). *)
+
+val flush_current : t -> unit
+(** Flush the {e calling} thread's entire cache (all classes + remote
+    buffer) back to the backend. Tests use it to reach a state where the
+    frontend holds nothing; callable only from a thread that owns its
+    dense id (inside a run, or quiescently from the host). *)

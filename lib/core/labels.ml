@@ -18,6 +18,9 @@ let desc_alloc = "desc.alloc"
 let desc_refill = "desc.refill"
 let desc_retire = "desc.retire"
 let desc_push = "desc.push"
+let bc_reserve_cas = "bc.reserve_cas"
+let bc_pop_cas = "bc.pop_cas"
+let bc_flush_cas = "bc.flush_cas"
 
 let all =
   [
@@ -41,4 +44,7 @@ let all =
     desc_refill;
     desc_retire;
     desc_push;
+    bc_reserve_cas;
+    bc_pop_cas;
+    bc_flush_cas;
   ]

@@ -83,5 +83,17 @@ val desc_push : string
     DescRetire; reached via hazard-pointer reclamation on the default
     pool). *)
 
+val bc_reserve_cas : string
+(** Block-cache refill: before the CAS reserving a {e batch} of credits
+    on Active (the amortized Fig. 4 reservation; DESIGN.md §13). *)
+
+val bc_pop_cas : string
+(** Block-cache refill: before the anchor CAS popping the reserved batch
+    off the superblock free list in one step. *)
+
+val bc_flush_cas : string
+(** Block-cache flush: before the anchor CAS pushing a batch of freed
+    blocks back (the amortized Fig. 6 push). *)
+
 val all : string list
 (** Every label above; fault-injection tests iterate this list. *)

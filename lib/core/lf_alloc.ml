@@ -223,7 +223,7 @@ let pop_block t (desc : Descriptor.t) ~label ~on_anchor =
     let addr = desc.sb + (Anchor.avail oldanchor * desc.sz) in
     (* line 10: may read garbage when racing; the tag CAS rejects it.
        [clamp_index] only keeps the value representable. *)
-    let next = Store.read_word t.store addr in
+    let next = Store.read_word ~racy:true t.store addr in
     let newanchor =
       pop_tag t (Anchor.set_avail oldanchor (clamp_index next))
     in
@@ -436,6 +436,20 @@ let malloc t n =
 (* ------------------------------------------------------------------ *)
 (* free (Fig. 6). *)
 
+(* Post-CAS epilogue shared by the singleton push and the batched flush
+   (flush_group below): release an emptied superblock (lines 19-21) or
+   re-park a formerly FULL one (lines 22-23). *)
+let finish_push t desc = function
+  | _, true, heap_gid ->
+      Rt.obs_event t.rt Rt.Obs.Transition "sb.empty";
+      Rt.label t.rt Labels.free_empty;
+      Store.free_superblock t.store desc.Descriptor.sb;
+      remove_empty_desc t (heap_of_gid t heap_gid) desc
+  | Anchor.Full, false, _ ->
+      Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
+      heap_put_partial t desc
+  | (Anchor.Active | Anchor.Partial | Anchor.Empty), false, _ -> ()
+
 let free_small t base prefix =
   let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
   let sb = desc.Descriptor.sb in
@@ -497,18 +511,7 @@ let free_small t base prefix =
       end
     end
   in
-  match push () with
-  | _, true, heap_gid ->
-      (* lines 19-21 *)
-      Rt.obs_event t.rt Rt.Obs.Transition "sb.empty";
-      Rt.label t.rt Labels.free_empty;
-      Store.free_superblock t.store sb;
-      remove_empty_desc t (heap_of_gid t heap_gid) desc
-  | Anchor.Full, false, _ ->
-      (* lines 22-23: first free into a FULL superblock. *)
-      Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
-      heap_put_partial t desc
-  | (Anchor.Active | Anchor.Partial | Anchor.Empty), false, _ -> ()
+  finish_push t desc (push ())
 
 let free t payload =
   if payload = Addr.null then ()
@@ -534,6 +537,198 @@ let usable_size t payload =
       - Prefix.prefix_bytes
   in
   base_usable - delta
+
+(* ------------------------------------------------------------------ *)
+(* Batched refill / flush — the entry points of the per-thread
+   block-cache frontend (Block_cache, DESIGN.md §13). Not in the
+   paper's figures: they amortize Fig. 4's reservation + pop and
+   Fig. 6's push over up to [cache_batch] blocks while speaking the
+   exact same Active/Anchor protocol, so every shared-structure step
+   below stays lock-free and every CAS window carries its own label. *)
+
+let classify t payload =
+  let base_payload, prefix, _delta = Mm_mem.Alloc_ops.resolve t.store payload in
+  if Prefix.is_large prefix then `Large
+  else begin
+    let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
+    (* Same wild-pointer guard as [free_small], applied before the block
+       can enter a cache and corrupt the anchor much later. *)
+    let off = base_payload - Prefix.prefix_bytes - desc.Descriptor.sb in
+    if
+      off < 0
+      || off >= desc.Descriptor.sz * desc.Descriptor.maxcount
+      || off mod desc.Descriptor.sz <> 0
+    then invalid_arg "Lf_alloc.free: not a block address";
+    let gid = desc.Descriptor.heap_gid in
+    `Small
+      ( base_payload,
+        gid / t.nheaps_,
+        gid mod t.nheaps_ = Rt.self t.rt mod t.nheaps_ )
+  end
+
+let refill_batch t ~sc ~max:want =
+  if want < 1 then invalid_arg "Lf_alloc.refill_batch: max must be >= 1";
+  let heap = my_heap t sc in
+  let b = Backoff.create t.rt in
+  (* One CAS reserves a whole batch: an Active word with c credits
+     entitles its takers to c + 1 pops, so taking
+     take = min want (c + 1) reservations at once just subtracts [take]
+     (emptying the word when take = c + 1), and the free-list-length
+     invariant (length >= count + outstanding reservations) guarantees
+     the batched pop below finds [take] linked blocks. *)
+  let rec reserve () =
+    let oldactive = Rt.Atomic.get heap.active in
+    if Active_word.is_null oldactive then None
+    else begin
+      let credits = Active_word.credits oldactive in
+      let take = min want (credits + 1) in
+      let newactive =
+        if take = credits + 1 then Active_word.null
+        else
+          Active_word.make
+            ~desc_id:(Active_word.desc_id oldactive)
+            ~credits:(credits - take)
+      in
+      Rt.label t.rt Labels.bc_reserve_cas;
+      if Rt.Atomic.compare_and_set heap.active oldactive newactive then
+        Some (oldactive, take)
+      else begin
+        bump t t.retry_reserve;
+        Backoff.once b;
+        reserve ()
+      end
+    end
+  in
+  match reserve () with
+  | None -> []
+  | Some (oldactive, take) ->
+      let desc = Descriptor.get t.table (Active_word.desc_id oldactive) in
+      let took_last = take = Active_word.credits oldactive + 1 in
+      let b = Backoff.create t.rt in
+      (* Pop the whole batch in one anchor CAS: walk [take] links of the
+         in-superblock free list and swing avail past them. Each link
+         read may return garbage when racing — exactly Fig. 4 line 10's
+         racy read, [take] times — and the tag bump in the CAS rejects
+         any walk that observed a mutated list. *)
+      let rec pop () =
+        let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+        let addrs = Array.make take 0 in
+        let idx = ref (Anchor.avail oldanchor) in
+        for i = 0 to take - 1 do
+          let addr = desc.Descriptor.sb + (!idx * desc.Descriptor.sz) in
+          addrs.(i) <- addr;
+          idx := clamp_index (Store.read_word ~racy:true t.store addr)
+        done;
+        let newanchor = pop_tag t (Anchor.set_avail oldanchor !idx) in
+        let newanchor, morecredits =
+          if took_last then
+            if Anchor.count oldanchor = 0 then
+              (Anchor.set_state newanchor Anchor.Full, 0)
+            else begin
+              let mc = min (Anchor.count oldanchor) t.cfg.maxcredits in
+              (Anchor.set_count newanchor (Anchor.count oldanchor - mc), mc)
+            end
+          else (newanchor, 0)
+        in
+        Rt.label t.rt Labels.bc_pop_cas;
+        if Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+        then (addrs, oldanchor, morecredits)
+        else begin
+          bump t t.retry_pop;
+          Backoff.once b;
+          pop ()
+        end
+      in
+      let addrs, oldanchor, morecredits = pop () in
+      if took_last then
+        if Anchor.count oldanchor > 0 then
+          update_active t heap desc morecredits
+        else Rt.obs_event t.rt Rt.Obs.Transition "sb.active->full";
+      Array.to_list (Array.map (fun addr -> finish_block t desc addr) addrs)
+
+(* Push a batch of blocks of ONE superblock back in one anchor CAS: the
+   batch is pre-chained through the blocks' link words (first -> ... ->
+   last -> old avail, Fig. 6 line 8 n times) and the CAS adds n to the
+   count, with the same EMPTY / FULL->PARTIAL transitions as
+   [free_small]. [count = maxcount - n] at the CAS means our n blocks
+   were the only allocated ones (so no Active word can reference the
+   descriptor), generalizing the paper's n = 1 emptiness test. *)
+let flush_group t (desc : Descriptor.t) bases =
+  let n = List.length bases in
+  let sb = desc.Descriptor.sb in
+  let b = Backoff.create t.rt in
+  let rec push () =
+    let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+    let rec chain = function
+      | [] -> ()
+      | [ last ] -> Store.write_word t.store last (Anchor.avail oldanchor)
+      | a :: (next :: _ as rest) ->
+          Store.write_word t.store a ((next - sb) / desc.Descriptor.sz);
+          chain rest
+    in
+    chain bases;
+    let with_avail =
+      Anchor.set_avail oldanchor ((List.hd bases - sb) / desc.Descriptor.sz)
+    in
+    let oldstate = Anchor.state oldanchor in
+    if Anchor.count oldanchor = desc.Descriptor.maxcount - n then begin
+      let heap_gid = desc.Descriptor.heap_gid in
+      Rt.fence t.rt;
+      let newanchor = Anchor.set_state with_avail Anchor.Empty in
+      Rt.fence t.rt;
+      Rt.label t.rt Labels.bc_flush_cas;
+      if
+        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+      then (oldstate, true, heap_gid)
+      else begin
+        bump t t.retry_free;
+        Backoff.once b;
+        push ()
+      end
+    end
+    else begin
+      let st = if oldstate = Anchor.Full then Anchor.Partial else oldstate in
+      let newanchor =
+        Anchor.set_count (Anchor.set_state with_avail st)
+          (Anchor.count oldanchor + n)
+      in
+      Rt.fence t.rt;
+      Rt.label t.rt Labels.bc_flush_cas;
+      if
+        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+      then (oldstate, false, -1)
+      else begin
+        bump t t.retry_free;
+        Backoff.once b;
+        push ()
+      end
+    end
+  in
+  finish_push t desc (push ())
+
+let flush_batch t payloads =
+  (* Group by descriptor, preserving first-seen order so simulated runs
+     stay deterministic, then push each group with one CAS. *)
+  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun payload ->
+      let base = payload - Prefix.prefix_bytes in
+      let prefix = Store.read_word t.store base in
+      if Prefix.is_large prefix then Store.free_large t.store base
+      else begin
+        let id = Prefix.desc_id prefix in
+        match Hashtbl.find_opt groups id with
+        | Some r -> r := base :: !r
+        | None ->
+            Hashtbl.add groups id (ref [ base ]);
+            order := id :: !order
+      end)
+    payloads;
+  List.iter
+    (fun id ->
+      flush_group t (Descriptor.get t.table id) (List.rev !(Hashtbl.find groups id)))
+    (List.rev !order)
 
 let op_counts t =
   (Array.fold_left ( + ) 0 t.mallocs, Array.fold_left ( + ) 0 t.frees)

@@ -48,3 +48,37 @@ val retry_counts : t -> (string * int) list
 (** Failed-CAS counts per contention site since creation (striped
     counters; quiescent snapshot). Quantifies where interference lands
     under a given workload (§4.2.3). *)
+
+(** {2 Batched operations for the block-cache frontend}
+
+    Used by {!Block_cache} (DESIGN.md §13). They are {e not} part of the
+    paper's figures: each amortizes one figure's CAS traffic over a
+    batch while speaking the same Active/Anchor protocol, so they
+    compose with concurrent Fig. 4/6 operations and remain lock-free.
+    Their CAS windows carry the [bc.*] labels. *)
+
+val refill_batch : t -> sc:int -> max:int -> int list
+(** [refill_batch t ~sc ~max] reserves up to [max] blocks of size class
+    [sc] from the calling thread's heap in ONE CAS on the Active word
+    (taking the word's remaining credits, at most [max]), then pops the
+    whole batch off the superblock free list in one tag-bumping anchor
+    CAS. Returns the payload addresses, newest-first; [[]] when the heap
+    has no active superblock (the caller falls back to {!malloc}, which
+    runs the ordinary MallocFromPartial / MallocFromNewSB paths and
+    installs a new Active word). Does not count toward {!op_counts}. *)
+
+val flush_batch : t -> int list -> unit
+(** [flush_batch t payloads] frees a batch of (base) payloads, grouping
+    them by superblock and pushing each group back with one anchor CAS
+    (the amortized Fig. 6 push, including the EMPTY and FULL→PARTIAL
+    transitions). Payloads must be block payloads as returned by
+    {!malloc} / {!refill_batch}. Does not count toward {!op_counts}. *)
+
+val classify : t -> int -> [ `Large | `Small of int * int * bool ]
+(** [classify t payload] resolves [payload] (following an aligned-alloc
+    offset prefix if present) and reports what kind of block it is:
+    [`Large], or [`Small (base_payload, sc, local)] where [local] says
+    the block's superblock belongs to the calling thread's processor
+    heap. Applies {!free}'s wild-pointer guard ([Invalid_argument] on a
+    non-block address). Read-only: the caller decides to cache, buffer
+    or free. *)

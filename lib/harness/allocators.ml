@@ -1,10 +1,18 @@
 open Mm_mem.Alloc_intf
 
-let names = [ "new"; "hoard"; "ptmalloc"; "libc" ]
+let names = [ "new"; "new-cached"; "hoard"; "ptmalloc"; "libc" ]
 
 let make name rt cfg =
   match name with
   | "new" -> Inst ((module Mm_core.Lf_alloc), Mm_core.Lf_alloc.create rt cfg)
+  | "new-cached" ->
+      (* The paper allocator behind the per-thread block-cache frontend;
+         the name forces the cache on whatever the config says, so
+         "new" and "new-cached" differ in exactly that one bit. *)
+      Inst
+        ( (module Mm_core.Block_cache),
+          Mm_core.Block_cache.create rt
+            { cfg with Mm_mem.Alloc_config.cache = true } )
   | "hoard" ->
       Inst
         ( (module Mm_baselines.Hoard_alloc),

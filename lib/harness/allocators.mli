@@ -1,8 +1,12 @@
-(** Registry of the four allocators the paper compares. *)
+(** Registry of the allocators under comparison: the paper's four plus
+    the block-cache frontend extension. *)
 
 val names : string list
-(** ["new"; "hoard"; "ptmalloc"; "libc"] — "new" is the paper's lock-free
-    allocator. *)
+(** ["new"; "new-cached"; "hoard"; "ptmalloc"; "libc"] — "new" is the
+    paper's lock-free allocator; "new-cached" is the same allocator
+    behind the per-thread block-cache frontend
+    ([Mm_core.Block_cache], forced on regardless of the config's
+    [cache] bit). *)
 
 val make :
   string -> Mm_runtime.Rt.t -> Mm_mem.Alloc_config.t ->

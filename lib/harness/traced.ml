@@ -2,6 +2,7 @@ open Mm_runtime
 module Cfg = Mm_mem.Alloc_config
 module W = Mm_workloads
 module Lf = Mm_core.Lf_alloc
+module Bc = Mm_core.Block_cache
 module L = Mm_core.Labels
 module Obs_agg = Mm_obs.Agg
 module Trace_file = Mm_obs.Trace_file
@@ -36,12 +37,19 @@ let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
   let rt = Rt.simulated sim in
   let cfg = Cfg.make ~nheaps () in
   (* Keep a typed handle on the lock-free allocator so the capture can
-     report its op counts and its independent striped retry census. *)
-  let lf = if allocator = "new" then Some (Lf.create rt cfg) else None in
-  let inst =
-    match lf with
-    | Some t -> Mm_mem.Alloc_intf.Inst ((module Lf), t)
-    | None -> Allocators.make allocator rt cfg
+     report its op counts and its independent striped retry census. For
+     "new-cached" the retry census comes from the wrapped backend while
+     the op counts are the frontend's (what the application issued), so
+     per-1k-op retry rates show the cache absorbing CAS traffic. *)
+  let lf, bc, inst =
+    match allocator with
+    | "new" ->
+        let t = Lf.create rt cfg in
+        (Some t, None, Mm_mem.Alloc_intf.Inst ((module Lf), t))
+    | "new-cached" ->
+        let t = Bc.create rt { cfg with Cfg.cache = true } in
+        (Some (Bc.backend t), Some t, Mm_mem.Alloc_intf.Inst ((module Bc), t))
+    | _ -> (None, None, Allocators.make allocator rt cfg)
   in
   let metric, tracer =
     Mm_obs.Tracer.with_tracing ~capacity (fun () -> wl inst ~threads)
@@ -50,7 +58,10 @@ let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
   let dropped = Mm_obs.Tracer.dropped tracer in
   let agg = Obs_agg.of_events ~dropped events in
   let mallocs, frees =
-    match lf with Some t -> Lf.op_counts t | None -> (0, 0)
+    match (bc, lf) with
+    | Some t, _ -> Bc.op_counts t
+    | None, Some t -> Lf.op_counts t
+    | None, None -> (0, 0)
   in
   let meta =
     {
@@ -81,9 +92,9 @@ let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
 
 let core_sites =
   [
-    ("active.reserve", [ L.ma_read_active; L.mp_reserve_cas ]);
-    ("anchor.pop", [ L.ma_pop_cas; L.mp_pop_cas ]);
-    ("anchor.free", [ L.free_cas ]);
+    ("active.reserve", [ L.ma_read_active; L.mp_reserve_cas; L.bc_reserve_cas ]);
+    ("anchor.pop", [ L.ma_pop_cas; L.mp_pop_cas; L.bc_pop_cas ]);
+    ("anchor.free", [ L.free_cas; L.bc_flush_cas ]);
     ("update_active", [ L.ua_credits_cas ]);
     ("partial.slot", [ L.free_put_partial ]);
   ]
@@ -145,7 +156,7 @@ let report_lines (tf : Trace_file.t) =
     ]
   in
   let sites_tbl =
-    if m.allocator <> "new" then []
+    if m.allocator <> "new" && m.allocator <> "new-cached" then []
     else
       "" :: "contention sites (failed CAS = one retry):"
       :: Render.table

@@ -14,6 +14,9 @@ type t = {
   arena_limit : int;
   anchor_tag : bool;
   desc_scan_threshold : int;
+  cache : bool;
+  cache_blocks : int;
+  cache_batch : int;
 }
 
 let default =
@@ -29,6 +32,9 @@ let default =
     arena_limit = 64;
     anchor_tag = true;
     desc_scan_threshold = 0;
+    cache = false;
+    cache_blocks = 64;
+    cache_batch = 16;
   }
 
 let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
@@ -38,13 +44,19 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     ?(store_capacity = default.store_capacity)
     ?(lock_kind = default.lock_kind) ?(arena_limit = default.arena_limit)
     ?(anchor_tag = default.anchor_tag)
-    ?(desc_scan_threshold = default.desc_scan_threshold) () =
+    ?(desc_scan_threshold = default.desc_scan_threshold)
+    ?(cache = default.cache) ?(cache_blocks = default.cache_blocks)
+    ?(cache_batch = default.cache_batch) () =
   if nheaps < 0 then invalid_arg "Alloc_config: nheaps must be >= 0";
   if maxcredits < 1 || maxcredits > 64 then
     invalid_arg "Alloc_config: maxcredits must be in [1, 64]";
   if arena_limit < 1 then invalid_arg "Alloc_config: arena_limit must be >= 1";
   if desc_scan_threshold < 0 then
     invalid_arg "Alloc_config: desc_scan_threshold must be >= 0";
+  if cache_blocks < 1 then
+    invalid_arg "Alloc_config: cache_blocks must be >= 1";
+  if cache_batch < 1 || cache_batch > cache_blocks then
+    invalid_arg "Alloc_config: cache_batch must be in [1, cache_blocks]";
   {
     nheaps;
     sbsize;
@@ -57,6 +69,9 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     arena_limit;
     anchor_tag;
     desc_scan_threshold;
+    cache;
+    cache_blocks;
+    cache_batch;
   }
 
 let effective_nheaps t rt =

@@ -44,6 +44,17 @@ type t = {
           the hazard-pointer default. Small values make descriptor
           recycling frequent, which the checking subsystem uses to widen
           the ABA surface it explores. *)
+  cache : bool;
+      (** enable the per-thread block-cache frontend ({!Mm_core.Block_cache},
+          DESIGN.md §13). [false] (the default) preserves the verbatim paper
+          allocator: every malloc/free goes straight to the Fig. 4/6 paths. *)
+  cache_blocks : int;
+      (** per-thread, per-size-class cache capacity in blocks (>= 1). *)
+  cache_batch : int;
+      (** blocks moved per batched refill or flush, in [1, cache_blocks].
+          A refill reserves up to this many credits in one CAS on Active;
+          an overflow or remote-free flush pushes this many blocks back
+          through the Fig. 6 path in one anchor CAS per superblock. *)
 }
 
 val default : t
@@ -60,6 +71,9 @@ val make :
   ?arena_limit:int ->
   ?anchor_tag:bool ->
   ?desc_scan_threshold:int ->
+  ?cache:bool ->
+  ?cache_blocks:int ->
+  ?cache_batch:int ->
   unit ->
   t
 (** [default] with overrides; validates ranges. *)

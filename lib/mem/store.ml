@@ -161,20 +161,37 @@ let live_regions t =
   Array.iter (fun a -> if Rt.Atomic.get a <> None then incr n) t.regions;
   !n
 
-let read_word t addr =
+(* A non-racy out-of-bounds word access is a miscomputed address — under
+   simulation (where lib/check drives schedules) fail loudly so the
+   explorer pins it; in real mode keep the tolerant unmapped-memory
+   analogue. Dead regions stay tolerant in both modes: the paper's racy
+   reads can legitimately target a region retired between the read of
+   the anchor and the dereference, and [~racy:true] grants the same
+   licence to in-region offsets read under a race. *)
+let oob_check t addr off len ~racy ~what =
+  if (not racy) && Rt.is_sim t.rt then
+    failwith
+      (Printf.sprintf "Store.%s: out-of-bounds offset %d (region len %d) at %d"
+         what off len addr)
+
+let read_word ?(racy = false) t addr =
   match region_of t addr with
   | None -> 0
   | Some r ->
       let off = Addr.offset addr in
-      if off + 8 > r.len then 0
+      if off < 0 || off + 8 > r.len then begin
+        oob_check t addr off r.len ~racy ~what:"read_word";
+        0
+      end
       else Rt.read_word t.rt r.bytes (r.base + off) ~line:(Addr.line addr)
 
-let write_word t addr v =
+let write_word ?(racy = false) t addr v =
   match region_of t addr with
   | None -> ()
   | Some r ->
       let off = Addr.offset addr in
-      if off + 8 > r.len then ()
+      if off < 0 || off + 8 > r.len then
+        oob_check t addr off r.len ~racy ~what:"write_word"
       else Rt.write_word t.rt r.bytes (r.base + off) ~line:(Addr.line addr) v
 
 let init_free_list t addr ~sz ~maxcount =

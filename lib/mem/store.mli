@@ -71,11 +71,18 @@ val live_regions : t -> int
 (** {2 Word access}
 
     [addr] is a full address (region + byte offset); words are 8 bytes.
-    Out-of-bounds or dead-region reads return 0 and writes are dropped —
-    the memory-safe analogue of touching unmapped memory. *)
+    Dead-region reads return 0 and writes are dropped — the memory-safe
+    analogue of touching unmapped memory. An out-of-bounds {e offset}
+    into a live region gets the same tolerant treatment in real mode,
+    but under simulation it raises unless [~racy:true]: a non-racy OOB
+    offset is a miscomputed address, and failing loudly lets the
+    [lib/check] explorer catch it. [~racy:true] marks the paper's
+    deliberate racy dereferences (e.g. reading a free-list link that a
+    concurrent pop may already have recycled, validated afterwards by a
+    tagged CAS), where garbage addresses are expected and harmless. *)
 
-val read_word : t -> int -> int
-val write_word : t -> int -> int -> unit
+val read_word : ?racy:bool -> t -> int -> int
+val write_word : ?racy:bool -> t -> int -> int -> unit
 
 val init_free_list : t -> int -> sz:int -> maxcount:int -> unit
 (** Thread the in-block free list of a fresh superblock: block [i]'s first

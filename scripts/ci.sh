@@ -16,6 +16,10 @@ dune exec bin/lint.exe -- --root . --format json lib bin \
 # rates are diffable across commits.
 dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
   --format json > _build/ci/trace-report.json || true
+# Machine-readable benchmark results (quick mode): bechamel estimates
+# plus every experiment table, archived so the bench trajectory is
+# diffable across commits (BENCH_0.json in the repo root is the seed).
+MM_BENCH_JSON=_build/ci/bench-report.json dune exec bench/main.exe || true
 dune build @lint
 dune runtest
 # Executable docs: run every fenced `dune exec` command in README.md,

@@ -10,11 +10,16 @@
    - kill: the thread dies at the label; survivors complete and the
      allocator remains usable afterwards.
 
+   The probe runs two phases per thread: the bare allocator (reaching
+   every backend label) and the block-cache frontend (reaching the
+   batched bc.* refill/flush labels, DESIGN.md §13).
+
    Plus schedule fuzzing: many seeds of a mixed workload with full
    invariant checks. *)
 
 open Mm_runtime
 module A = Mm_core.Lf_alloc
+module Bc = Mm_core.Block_cache
 module L = Mm_core.Labels
 module Cfg = Mm_mem.Alloc_config
 open Util
@@ -29,18 +34,37 @@ open Util
 let probe_cfg =
   Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ~desc_scan_threshold:1 ()
 
-let probe_body t n tid =
+(* The cached phase needs maxcredits > 1, or every batched refill
+   degenerates to a single-block reservation and the bc.pop walk never
+   covers more than one link; a small cache with batch 2 makes overflow
+   flushes (bc.flush_cas) fire within one drain. *)
+let cached_cfg =
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:8 ~desc_scan_threshold:1
+    ~cache:true ~cache_blocks:4 ~cache_batch:2 ()
+
+let probe_body ~malloc ~free n tid =
   let rng = Prng.create (tid + 31) in
   let burst = Array.make 300 0 in
   for _ = 1 to n do
     (* Burst fill: drives superblocks FULL, spills to new superblocks. *)
     for i = 0 to Array.length burst - 1 do
-      burst.(i) <- A.malloc t 8
+      burst.(i) <- malloc 8
     done;
     (* Random-order drain: drives PARTIAL and EMPTY transitions. *)
     Prng.shuffle rng burst;
-    Array.iter (A.free t) burst
+    Array.iter free burst
   done
+
+(* Both allocators on one runtime, and a body running the plain phase
+   then the cached phase — together they reach every label in L.all. *)
+let probe_pair rt =
+  let t = A.create rt probe_cfg in
+  let tc = Bc.create rt cached_cfg in
+  let body n tid =
+    probe_body ~malloc:(A.malloc t) ~free:(A.free t) n tid;
+    probe_body ~malloc:(Bc.malloc tc) ~free:(Bc.free tc) n tid
+  in
+  (t, tc, body)
 
 let coverage () =
   let hits = Hashtbl.create 32 in
@@ -49,14 +73,15 @@ let coverage () =
     Sim.Continue
   in
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let t = A.create (Rt.simulated s) probe_cfg in
-  ignore (Sim.run s (Array.init 4 (fun _ -> probe_body t 4)));
+  let t, tc, body = probe_pair (Rt.simulated s) in
+  ignore (Sim.run s (Array.init 4 (fun _ -> body 4)));
   List.iter
     (fun l ->
       if not (Hashtbl.mem hits l) then
         Alcotest.failf "probe workload never reaches label %s" l)
     L.all;
-  A.check_invariants t
+  A.check_invariants t;
+  Bc.check_invariants tc
 
 let threads = 4
 
@@ -80,9 +105,9 @@ let pause_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t = A.create (Rt.simulated s) probe_cfg in
+  let t, tc, pbody = probe_pair (Rt.simulated s) in
   let body tid =
-    probe_body t 3 tid;
+    pbody 3 tid;
     finished.(tid) <- true
   in
   ignore (Sim.run s (Array.init threads (fun i _ -> body i)));
@@ -92,8 +117,9 @@ let pause_at label () =
       if not f then Alcotest.failf "thread %d did not finish" i)
     finished;
   (* The victim resumed and completed too, so the heap is quiescent and
-     fully consistent. *)
-  A.check_invariants t
+     fully consistent (cached blocks remain allocated by design). *)
+  A.check_invariants t;
+  Bc.check_invariants tc
 
 let kill_at label () =
   let killed = ref (-1) in
@@ -105,10 +131,10 @@ let kill_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t = A.create (Rt.simulated s) probe_cfg in
+  let t, tc, pbody = probe_pair (Rt.simulated s) in
   let completed = Array.make threads false in
   let body tid =
-    probe_body t 3 tid;
+    pbody 3 tid;
     completed.(tid) <- true
   in
   let r = Sim.run s (Array.init threads (fun i _ -> body i)) in
@@ -119,8 +145,9 @@ let kill_at label () =
       if i <> !killed && not f then
         Alcotest.failf "survivor %d did not finish" i)
     completed;
-  (* The allocator remains functional after the kill: run a fresh wave
-     (the killed thread's reservations are leaked, not corrupted). *)
+  (* Both allocators remain functional after the kill: run a fresh wave
+     (the killed thread's reservations and cached blocks are leaked,
+     not corrupted — exclusivity holds, conservation does not). *)
   let s2_ok = ref false in
   (* Reuse the same sim instance for a follow-up run. *)
   let r2 =
@@ -129,6 +156,8 @@ let kill_at label () =
         (fun _ ->
           let addrs = Array.init 200 (fun _ -> A.malloc t 8) in
           Array.iter (A.free t) addrs;
+          let addrs = Array.init 200 (fun _ -> Bc.malloc tc 8) in
+          Array.iter (Bc.free tc) addrs;
           s2_ok := true);
       |]
   in
@@ -139,7 +168,10 @@ let fuzz_invariants () =
   for seed = 1 to 20 do
     let s = sim ~cpus:4 ~seed ~max_cycles:50_000_000_000 () in
     let t = A.create (Rt.simulated s) probe_cfg in
-    ignore (Sim.run s (Array.init 4 (fun _ -> probe_body t 2)));
+    ignore
+      (Sim.run s
+         (Array.init 4 (fun _ ->
+              probe_body ~malloc:(A.malloc t) ~free:(A.free t) 2)));
     (try A.check_invariants t
      with Failure msg -> Alcotest.failf "seed %d: %s" seed msg);
     let m, f = A.op_counts t in
@@ -178,7 +210,7 @@ let real_runtime_stress () =
     ~finally:(fun () -> Rt.real_label_hook := (fun _ -> ()))
     (fun () ->
       let t = A.create Rt.real probe_cfg in
-      let body tid = probe_body t 3 tid in
+      let body tid = probe_body ~malloc:(A.malloc t) ~free:(A.free t) 3 tid in
       ignore (Rt.parallel_run Rt.real (Array.init 4 (fun i _ -> body i)));
       A.check_invariants t;
       let m, f = A.op_counts t in

@@ -62,6 +62,40 @@ let bounds_are_safe () =
   Alcotest.(check int) "unknown region" 0
     (Store.read_word st (Addr.make ~region:4000 ~offset:0))
 
+let sim_bounds_assert () =
+  (* In simulation a non-racy out-of-bounds word access is a bug in the
+     allocator, not a benign miss — it must trip the assertion. Racy
+     accesses keep the tolerant behaviour (the paper's reads of
+     possibly-reused memory). *)
+  let s = sim ~cpus:1 () in
+  let rt = Rt.simulated s in
+  ignore
+    (Sim.run s
+       [|
+         (fun _ ->
+           let st = Store.create rt ~capacity:4096 ~sbsize:(16 * 1024) () in
+           let sb = Store.alloc_superblock st in
+           let oob = sb + (16 * 1024) - 4 in
+           (try
+              ignore (Store.read_word st oob);
+              Alcotest.fail "sim OOB read did not assert"
+            with Failure msg ->
+              Alcotest.(check bool) "read diagnostic names the offset" true
+                (String.length msg > 0));
+           (try
+              Store.write_word st oob 1;
+              Alcotest.fail "sim OOB write did not assert"
+            with Failure _ -> ());
+           Alcotest.(check int) "racy OOB read stays tolerant" 0
+             (Store.read_word ~racy:true st oob);
+           Store.write_word ~racy:true st oob 1;
+           (* Dead regions stay tolerant in both modes: racy reads may
+              legitimately target retired superblocks. *)
+           Store.free_superblock st sb;
+           Alcotest.(check int) "dead region reads 0" 0
+             (Store.read_word st sb));
+       |])
+
 let init_free_list () =
   let st = fresh () in
   let sb = Store.alloc_superblock st in
@@ -176,6 +210,7 @@ let cases =
     case "recycled superblocks zeroed" superblock_recycled_zeroed;
     case "large blocks" large_blocks;
     case "bounds are memory-safe" bounds_are_safe;
+    case "sim mode asserts on non-racy OOB" sim_bounds_assert;
     case "init_free_list links" init_free_list;
     case "hyperblock batching" hyperblocks_batch;
     case "space peaks" space_peaks;
