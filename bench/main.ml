@@ -155,6 +155,15 @@ let bench_json ~full ~seed estimates outcomes =
                        (List.map
                           (fun l -> Json.Str l)
                           o.Mm_harness.Experiments.lines) );
+                   (* Raw OS-traffic counters for the lock-free
+                      allocator (the per-1k census line's inputs), so
+                      mmap/munmap trajectories diff cleanly. *)
+                   ( "os",
+                     Json.Obj
+                       (List.map
+                          (fun (k, v) -> (k, Json.Int v))
+                          (Mm_harness.Experiments.os_census
+                             o.Mm_harness.Experiments.id)) );
                  ])
              outcomes) );
     ]

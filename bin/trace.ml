@@ -58,6 +58,13 @@ let allocator_arg =
         ~doc:"Allocator under trace (new, new-cached, hoard, ptmalloc, \
               libc).")
 
+let sb_cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sb-cache" ] ~docv:"D"
+        ~doc:"Warm-superblock cache depth per size class for the \
+              $(b,new) allocator (0 = off, the paper-verbatim path).")
+
 let input_arg =
   Arg.(
     value
@@ -65,23 +72,25 @@ let input_arg =
     & info [ "i"; "input" ] ~docv:"FILE"
         ~doc:"Read a recorded trace instead of running a workload.")
 
-let capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator =
+let capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator
+    ~sb_cache =
   match H.find_workload workload with
   | None ->
       Error (Printf.sprintf "unknown workload %s (see `trace list')" workload)
   | Some wl ->
       let nheaps = if heaps = 0 then None else Some heaps in
       Ok
-        (H.capture ~cpus ?nheaps ~capacity ~allocator ~name:workload ~threads
-           ~seed wl)
+        (H.capture ~cpus ?nheaps ~capacity ~allocator ~sb_cache ~name:workload
+           ~threads ~seed wl)
 
-let obtain input workload threads seed cpus heaps capacity allocator =
+let obtain input workload threads seed cpus heaps capacity allocator sb_cache =
   match input with
   | Some path -> TF.load path
   | None ->
       Result.map
         (fun c -> c.H.trace)
-        (capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator)
+        (capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator
+           ~sb_cache)
 
 let usage_err e =
   prerr_endline e;
@@ -102,8 +111,11 @@ let record_cmd =
       value & opt string "trace.json"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
   in
-  let run workload threads seed cpus heaps capacity allocator out =
-    match capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator with
+  let run workload threads seed cpus heaps capacity allocator sb_cache out =
+    match
+      capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator
+        ~sb_cache
+    with
     | Error e -> usage_err e
     | Ok c ->
         TF.save out c.H.trace;
@@ -118,7 +130,7 @@ let record_cmd =
   Cmd.v (Cmd.info "record" ~doc)
     Term.(
       const run $ workload_arg $ threads_arg $ seed_arg $ cpus_arg
-      $ heaps_arg $ capacity_arg $ allocator_arg $ out)
+      $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg $ out)
 
 let report_cmd =
   let doc =
@@ -131,20 +143,54 @@ let report_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"FMT" ~doc:"text or json.")
   in
-  let run input workload threads seed cpus heaps capacity allocator format =
-    match obtain input workload threads seed cpus heaps capacity allocator with
+  let max_mmap =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-mmap-per-1k" ] ~docv:"X"
+          ~doc:"CI gate: exit 2 when the run's simulated mmap calls per \
+                1k allocator ops exceed $(docv) (guards the \
+                superblock-recycling paths against regression).")
+  in
+  let run input workload threads seed cpus heaps capacity allocator sb_cache
+      format max_mmap =
+    match
+      obtain input workload threads seed cpus heaps capacity allocator sb_cache
+    with
     | Error e -> usage_err e
-    | Ok trace ->
+    | Ok trace -> (
         (match format with
         | `Text -> List.iter print_endline (H.report_lines trace)
         | `Json ->
             print_endline (Mm_obs.Json.to_string (H.report_json trace)));
-        0
+        match max_mmap with
+        | None -> 0
+        | Some limit ->
+            let m = trace.TF.meta in
+            let aops = m.TF.mallocs + m.TF.frees in
+            let mmaps = H.trace_mmaps trace in
+            let rate =
+              if aops = 0 then Float.infinity
+              else 1000.0 *. float_of_int mmaps /. float_of_int aops
+            in
+            if rate > limit then begin
+              Printf.eprintf
+                "mmap gate FAILED: %.2f mmap calls per 1k ops (%d mmaps / \
+                 %d ops) > limit %.2f\n"
+                rate mmaps aops limit;
+              2
+            end
+            else begin
+              Printf.printf "mmap gate ok: %.2f per 1k ops <= %.2f\n" rate
+                limit;
+              0
+            end)
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
-      $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ format)
+      $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg
+      $ format $ max_mmap)
 
 let export_cmd =
   let doc =
@@ -164,9 +210,11 @@ let export_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Output file (default: stdout).")
   in
-  let run input workload threads seed cpus heaps capacity allocator _chrome out
-      =
-    match obtain input workload threads seed cpus heaps capacity allocator with
+  let run input workload threads seed cpus heaps capacity allocator sb_cache
+      _chrome out =
+    match
+      obtain input workload threads seed cpus heaps capacity allocator sb_cache
+    with
     | Error e -> usage_err e
     | Ok trace ->
         let s =
@@ -190,7 +238,8 @@ let export_cmd =
   Cmd.v (Cmd.info "export" ~doc)
     Term.(
       const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
-      $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ chrome $ out)
+      $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg
+      $ chrome $ out)
 
 let () =
   let doc = "Lock-free allocator observability: record / report / export." in

@@ -43,7 +43,8 @@ let create rt table ~kind ?(batch_size = 64) ?scan_threshold () =
           (Tis.create rt
              ~get_next:(fun id -> (Descriptor.get table id).Descriptor.next_id)
              ~set_next:(fun id n ->
-               (Descriptor.get table id).Descriptor.next_id <- n))
+               (Descriptor.get table id).Descriptor.next_id <- n)
+             ())
   in
   { rt; table; batch_size; variant }
 

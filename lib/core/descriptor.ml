@@ -6,6 +6,7 @@ type t = {
   anchor : int Rt.atomic;
   mutable next_d : t option;
   mutable next_id : int;
+  mutable next_c : int;
   mutable sb : int;
   mutable heap_gid : int;
   mutable sz : int;
@@ -48,6 +49,7 @@ let alloc_batch tbl n =
               (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:0);
           next_d = None;
           next_id = -1;
+          next_c = -1;
           sb = Mm_mem.Addr.null;
           heap_gid = -1;
           sz = 0;

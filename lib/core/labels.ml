@@ -21,6 +21,8 @@ let desc_push = "desc.push"
 let bc_reserve_cas = "bc.reserve_cas"
 let bc_pop_cas = "bc.pop_cas"
 let bc_flush_cas = "bc.flush_cas"
+let sbc_park = "sbc.park"
+let sbc_adopt = "sbc.adopt"
 
 let all =
   [
@@ -47,4 +49,6 @@ let all =
     bc_reserve_cas;
     bc_pop_cas;
     bc_flush_cas;
+    sbc_park;
+    sbc_adopt;
   ]

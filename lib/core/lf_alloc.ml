@@ -26,6 +26,7 @@ type t = {
   lists : Partial_list.t array;  (* per size class *)
   table : Descriptor.table;
   pool : Desc_pool.t;
+  sbc : Sb_cache.t;  (* warm EMPTY-superblock cache, DESIGN.md §14 *)
   mallocs : int array;  (* striped per-thread op counters *)
   frees : int array;
   (* CAS-retry counters per contention site (striped per thread):
@@ -36,11 +37,13 @@ type t = {
   retry_free : int array;
   retry_update_active : int array;
   retry_partial_slot : int array;
+  retry_park : int array;
+  retry_adopt : int array;
 }
 
 let retry_sites =
   [ "active.reserve"; "anchor.pop"; "anchor.free"; "update_active";
-    "partial.slot" ]
+    "partial.slot"; "sbc.park"; "sbc.adopt" ]
 
 let name = "new"
 
@@ -73,6 +76,16 @@ let create rt (cfg : Cfg.t) =
   let lists =
     Array.init nclasses (fun _ -> Partial_list.create rt cfg.partial_policy)
   in
+  let retry_park = Array.make Rt.max_threads 0 in
+  let retry_adopt = Array.make Rt.max_threads 0 in
+  let sbc =
+    Sb_cache.create rt ~depth:cfg.sb_cache_depth ~nclasses ~table
+      ~on_park_retry:(fun () ->
+        retry_park.(Rt.self rt) <- retry_park.(Rt.self rt) + 1)
+      ~on_adopt_retry:(fun () ->
+        retry_adopt.(Rt.self rt) <- retry_adopt.(Rt.self rt) + 1)
+      ()
+  in
   {
     rt;
     cfg;
@@ -83,6 +96,7 @@ let create rt (cfg : Cfg.t) =
     lists;
     table;
     pool;
+    sbc;
     mallocs = Array.make Rt.max_threads 0;
     frees = Array.make Rt.max_threads 0;
     retry_reserve = Array.make Rt.max_threads 0;
@@ -90,6 +104,8 @@ let create rt (cfg : Cfg.t) =
     retry_free = Array.make Rt.max_threads 0;
     retry_update_active = Array.make Rt.max_threads 0;
     retry_partial_slot = Array.make Rt.max_threads 0;
+    retry_park;
+    retry_adopt;
   }
 
 let bump t arr = arr.(Rt.self t.rt) <- arr.(Rt.self t.rt) + 1
@@ -102,10 +118,13 @@ let retry_counts t =
     ("anchor.free", sum t.retry_free);
     ("update_active", sum t.retry_update_active);
     ("partial.slot", sum t.retry_partial_slot);
+    ("sbc.park", sum t.retry_park);
+    ("sbc.adopt", sum t.retry_adopt);
   ]
 
 let rt t = t.rt
 let store t = t.store
+let sb_cache t = t.sbc
 let size_classes t = t.classes
 let nheaps t = t.nheaps_
 let descriptor_table t = t.table
@@ -134,6 +153,26 @@ let heap_put_partial t desc =
   if prev <> 0 then
     Partial_list.put t.lists.(heap.sc) (Descriptor.get t.table prev)
 
+(* Release an EMPTY descriptor whose last reference the caller just
+   removed — the Desc_pool.retire precondition, which is exactly the
+   exclusivity Sb_cache.park requires. With the warm cache enabled the
+   superblock is still mapped here (finish_push skips the unmap, below),
+   so the whole descriptor — bytes, intact free list, anchor tag — parks
+   on the size-class cache; a refused park (watermark) genuinely unmaps
+   and retires, keeping the paper's space accounting honest. *)
+let release_empty t desc =
+  if Sb_cache.enabled t.sbc && desc.Descriptor.sb <> Addr.null then begin
+    let sc = desc.Descriptor.heap_gid / t.nheaps_ in
+    if Sb_cache.park t.sbc ~sc desc then
+      Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
+    else begin
+      Store.free_superblock t.store desc.Descriptor.sb;
+      desc.Descriptor.sb <- Addr.null;
+      Desc_pool.retire t.pool desc
+    end
+  end
+  else Desc_pool.retire t.pool desc
+
 let heap_get_partial t heap =
   let rec go () =
     let id = Rt.Atomic.get heap.partial in
@@ -158,12 +197,12 @@ let remove_empty_desc t heap desc =
        re-validate the state and reinsert if it is alive. *)
     if
       Anchor.state (Rt.Atomic.get desc.Descriptor.anchor) = Anchor.Empty
-    then Desc_pool.retire t.pool desc
+    then release_empty t desc
     else heap_put_partial t desc
   end
   else
     Partial_list.remove_empty t.lists.(heap.sc)
-      ~retire:(fun d -> Desc_pool.retire t.pool d)
+      ~retire:(fun d -> release_empty t d)
 
 (* ------------------------------------------------------------------ *)
 (* UpdateActive (Fig. 4). *)
@@ -340,8 +379,8 @@ let rec malloc_from_partial t heap =
       in
       match reserve () with
       | None ->
-          (* lines 5-6: became EMPTY under us — retire and retry. *)
-          Desc_pool.retire t.pool desc;
+          (* lines 5-6: became EMPTY under us — release and retry. *)
+          release_empty t desc;
           malloc_from_partial t heap
       | Some morecredits ->
           Rt.obs_event t.rt Rt.Obs.Transition
@@ -357,9 +396,58 @@ let rec malloc_from_partial t heap =
           Some (finish_block t desc addr))
 
 (* ------------------------------------------------------------------ *)
-(* MallocFromNewSB (Fig. 4). *)
+(* MallocFromNewSB (Fig. 4), preceded by warm adoption (DESIGN.md §14). *)
 
-let malloc_from_new_sb t heap =
+(* Adopt a parked EMPTY superblock instead of mapping a fresh one. The
+   tag-bumping pop of the cache stack made the descriptor private to us,
+   so the anchor read and the head-link read below are non-racy; the
+   free list survived the park intact (all [maxcount] blocks chained
+   from [avail]), so the whole of Fig. 4's line 2-3 work — the mmap and
+   the O(maxcount) free-list initialization — is skipped. The anchor
+   install continues the descriptor's own tag sequence, so a stale CAS
+   from the superblock's previous life still fails. *)
+let adopt_parked t heap =
+  match Sb_cache.adopt t.sbc ~sc:heap.sc with
+  | None -> None
+  | Some desc ->
+      desc.Descriptor.heap_gid <- heap.gid;
+      let maxcount = desc.Descriptor.maxcount in
+      let a0 = Rt.Atomic.get desc.Descriptor.anchor in
+      let avail0 = Anchor.avail a0 in
+      let head = desc.Descriptor.sb + (avail0 * desc.Descriptor.sz) in
+      let next = clamp_index (Store.read_word t.store head) in
+      (* Same credits arithmetic as the fresh-superblock path below. *)
+      let credits = min (maxcount - 1) t.cfg.maxcredits - 1 in
+      let newactive = Active_word.make ~desc_id:desc.Descriptor.id ~credits in
+      Rt.Atomic.set desc.Descriptor.anchor
+        (Anchor.make ~avail:next
+           ~count:(maxcount - 1 - (credits + 1))
+           ~state:Anchor.Active ~tag:(Anchor.tag a0 + 1));
+      Rt.fence t.rt;
+      Rt.label t.rt Labels.mnsb_install;
+      if Rt.Atomic.compare_and_set heap.active Active_word.null newactive
+      then begin
+        Rt.obs_event t.rt Rt.Obs.Transition "sb.cached->active";
+        Some (finish_block t desc head)
+      end
+      else begin
+        (* Lost the install race: nothing was handed out, the links are
+           untouched — restore the parked EMPTY anchor (tag moves
+           forward, never back) and re-park. *)
+        Rt.Atomic.set desc.Descriptor.anchor
+          (Anchor.make ~avail:avail0 ~count:(maxcount - 1)
+             ~state:Anchor.Empty ~tag:(Anchor.tag a0 + 2));
+        if Sb_cache.park t.sbc ~sc:heap.sc desc then
+          Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
+        else begin
+          Store.free_superblock t.store desc.Descriptor.sb;
+          desc.Descriptor.sb <- Addr.null;
+          Desc_pool.retire t.pool desc
+        end;
+        None
+      end
+
+let malloc_from_new_sb_fresh t heap =
   let desc = Desc_pool.alloc t.pool in
   (* line 1 *)
   let sz = Sc.block_size t.classes heap.sc in
@@ -394,14 +482,35 @@ let malloc_from_new_sb t heap =
     Some (finish_block t desc sb)
   end
   else begin
-    (* lines 16-17: another thread won the race; release everything. *)
-    Store.free_superblock t.store sb;
-    Rt.Atomic.set desc.Descriptor.anchor
-      (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:(oldtag + 2));
-    desc.Descriptor.sb <- Addr.null;
-    Desc_pool.retire t.pool desc;
+    (* lines 16-17: another thread won the race; release everything.
+       With the warm cache enabled the just-initialized superblock is a
+       perfect parking candidate — its free list threads all [maxcount]
+       blocks from index 0 and nothing was handed out — so park it
+       instead of throwing the mmap and free-list work away. *)
+    let parked =
+      Sb_cache.enabled t.sbc
+      && begin
+           Rt.Atomic.set desc.Descriptor.anchor
+             (Anchor.make ~avail:0 ~count:(maxcount - 1) ~state:Anchor.Empty
+                ~tag:(oldtag + 2));
+           Sb_cache.park t.sbc ~sc:heap.sc desc
+         end
+    in
+    if parked then Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
+    else begin
+      Store.free_superblock t.store sb;
+      Rt.Atomic.set desc.Descriptor.anchor
+        (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:(oldtag + 2));
+      desc.Descriptor.sb <- Addr.null;
+      Desc_pool.retire t.pool desc
+    end;
     None
   end
+
+let malloc_from_new_sb t heap =
+  match adopt_parked t heap with
+  | Some _ as r -> r
+  | None -> malloc_from_new_sb_fresh t heap
 
 (* ------------------------------------------------------------------ *)
 (* malloc (Fig. 4). *)
@@ -443,7 +552,13 @@ let finish_push t desc = function
   | _, true, heap_gid ->
       Rt.obs_event t.rt Rt.Obs.Transition "sb.empty";
       Rt.label t.rt Labels.free_empty;
-      Store.free_superblock t.store desc.Descriptor.sb;
+      (* With the warm cache enabled the superblock stays mapped: the
+         thread that later removes the descriptor's last reference parks
+         bytes + free list + anchor together (release_empty), or unmaps
+         there if the cache is full. Unmapping here would tear the
+         superblock away before ownership of the descriptor settles. *)
+      if not (Sb_cache.enabled t.sbc) then
+        Store.free_superblock t.store desc.Descriptor.sb;
       remove_empty_desc t (heap_of_gid t heap_gid) desc
   | Anchor.Full, false, _ ->
       Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
@@ -826,20 +941,57 @@ let check_invariants t =
           add_ref d.Descriptor.id (Printf.sprintf "PartialList[%d]" sc))
         (Partial_list.to_list list))
     t.lists;
+  let parked_ids = Hashtbl.create 8 in
+  for sc = 0 to Sc.count t.classes - 1 do
+    List.iter
+      (fun id ->
+        add_ref id (Printf.sprintf "SbCache[%d]" sc);
+        Hashtbl.replace parked_ids id sc)
+      (Sb_cache.parked t.sbc ~sc)
+  done;
   (* 2. Per-descriptor structural checks. *)
   Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
       let a = Rt.Atomic.get d.Descriptor.anchor in
       let id = d.Descriptor.id in
       match Anchor.state a with
       | Anchor.Empty -> (
-          (* Retired or awaiting removal; it may linger only in a size
-             class partial list. *)
+          (* Retired or awaiting removal (it may linger only in a size
+             class partial list) — or parked warm on the superblock
+             cache, in which case its whole free list must be intact:
+             all [maxcount] blocks chained from [avail] with no repeats,
+             ready for adoption without re-initialization. *)
+          (match Hashtbl.find_opt parked_ids id with
+          | None -> ()
+          | Some sc ->
+              if d.Descriptor.sb = Addr.null then
+                fail "parked desc %d without superblock" id;
+              if
+                Sc.block_size t.classes sc <> d.Descriptor.sz
+              then
+                fail "parked desc %d: sz %d does not match class %d" id
+                  d.Descriptor.sz sc;
+              let seen = Array.make d.Descriptor.maxcount false in
+              let idx = ref (Anchor.avail a) in
+              for step = 1 to d.Descriptor.maxcount do
+                if !idx < 0 || !idx >= d.Descriptor.maxcount then
+                  fail "parked desc %d: free-list index %d out of range \
+                        at step %d" id !idx step;
+                if seen.(!idx) then
+                  fail "parked desc %d: free list revisits block %d" id !idx;
+                seen.(!idx) <- true;
+                idx :=
+                  Store.read_word t.store
+                    (d.Descriptor.sb + (!idx * d.Descriptor.sz))
+              done);
           match Hashtbl.find_opt refs id with
           | None -> ()
           | Some src ->
-              if not (String.length src > 11
-                      && String.sub src 0 11 = "PartialList") then
-                fail "EMPTY desc %d referenced from %s" id src)
+              if
+                not
+                  ((String.length src > 11
+                   && String.sub src 0 11 = "PartialList")
+                  || (String.length src > 7 && String.sub src 0 7 = "SbCache"))
+              then fail "EMPTY desc %d referenced from %s" id src)
       | st ->
           if d.Descriptor.sb = Addr.null then
             fail "desc %d in state %s without superblock" id

@@ -26,6 +26,11 @@ val nheaps : t -> int
 val descriptor_table : t -> Descriptor.table
 val desc_pool : t -> Desc_pool.t
 
+val sb_cache : t -> Sb_cache.t
+(** The warm EMPTY-superblock cache (DESIGN.md §14). Disabled — and the
+    malloc/free paths bit-identical to the paper's figures — when the
+    configuration's [sb_cache_depth] is 0. *)
+
 val heap_active_desc : t -> sc:int -> heap:int -> (Descriptor.t * int) option
 (** The active descriptor of the given processor heap and its current
     credits, if any (quiescent snapshot). *)

@@ -18,18 +18,27 @@ let get t = match t with Fifo q -> Msq.dequeue q | Lifo s -> Ts.pop s
 let is_empty_desc d =
   Anchor.state (Rt.Atomic.get d.Descriptor.anchor) = Anchor.Empty
 
+(* How many non-empty descriptors one FIFO [remove_empty] call may cycle
+   head->tail while hunting for an EMPTY one. Small and fixed: the call
+   stays O(1), but an EMPTY descriptor buried behind a few partials is
+   still reclaimed in one call instead of waiting for one call per
+   preceding partial. *)
+let fifo_scan_bound = 4
+
 let remove_empty t ~retire =
   match t with
   | Fifo q ->
       let rec go moved =
-        match Msq.dequeue q with
-        | None -> ()
-        | Some d ->
-            if is_empty_desc d then retire d
-            else begin
-              Msq.enqueue q d;
-              if moved < 1 then go (moved + 1)
-            end
+        if moved >= fifo_scan_bound then ()
+        else
+          match Msq.dequeue q with
+          | None -> ()
+          | Some d ->
+              if is_empty_desc d then retire d
+              else begin
+                Msq.enqueue q d;
+                go (moved + 1)
+              end
       in
       go 0
   | Lifo s ->

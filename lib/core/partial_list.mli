@@ -3,9 +3,11 @@
     Two managements, both lock-free:
     - {b FIFO} (the paper's preference, reduces contention and false
       sharing): a Michael–Scott queue; [remove_empty] dequeues from the
-      head, retiring empty descriptors, until it retires one or has moved
-      two non-empty descriptors to the tail — guaranteeing at most half
-      the list is ever empty descriptors.
+      head, retiring the first empty descriptor it meets, giving up after
+      cycling a small fixed number (4) of non-empty descriptors to the
+      tail — each call is O(1), yet an empty descriptor buried behind a
+      few partials is reclaimed in one call rather than one call per
+      preceding partial.
     - {b LIFO}: a Treiber stack; [remove_empty] pops up to two
       descriptors, retiring empties and re-pushing the rest.
 

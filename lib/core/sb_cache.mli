@@ -1,0 +1,72 @@
+(** Warm-superblock cache: per-size-class lock-free recycle stacks of
+    EMPTY descriptors (DESIGN.md §14).
+
+    The paper's allocator returns an emptied superblock to the OS at the
+    EMPTY transition and retires its descriptor; churning workloads then
+    oscillate through MallocFromNewSB — a simulated mmap plus an
+    O(maxcount) free-list initialization per superblock. This cache
+    parks the whole descriptor instead: superblock bytes, the intact
+    in-block LIFO free list and the anchor tag all survive, so an
+    adopting [MallocFromNewSB] pays one tagged-stack pop and one anchor
+    store where it used to pay a syscall, a full free-list walk and a
+    descriptor-pool round trip.
+
+    Safety: parking requires the same exclusive ownership as
+    [Desc_pool.retire] (the caller removed the descriptor's last
+    reference); the stack's tag-bumping pop (label {!Labels.sbc_adopt})
+    confers exclusive ownership on the adopter. The descriptor's anchor
+    keeps its tag across the park→adopt cycle, so a stale anchor CAS
+    from the superblock's previous life still fails — the paper's
+    Fig. 5 ABA argument carries over unbroken.
+
+    Bound: at most [depth] descriptors per size class (a Hoard-style
+    hysteresis watermark); a park beyond the watermark is refused and
+    the caller genuinely unmaps, keeping {!Mm_mem.Space} peak accounting
+    honest — the cache can hold the mapped footprint above the cache-off
+    level by at most [depth * sbsize] per size class in use. *)
+
+type t
+
+type stats = { parks : int; adopts : int; overflows : int }
+
+val create :
+  Mm_runtime.Rt.t ->
+  depth:int ->
+  nclasses:int ->
+  table:Descriptor.table ->
+  ?on_park_retry:(unit -> unit) ->
+  ?on_adopt_retry:(unit -> unit) ->
+  unit ->
+  t
+(** [depth = 0] disables the cache: {!park} always refuses and {!adopt}
+    always misses, without touching any shared word — the paper-verbatim
+    EMPTY path stays bit-identical. The retry callbacks mirror failed
+    stack CASes into the allocator's striped retry census (labels
+    {!Labels.sbc_park} / {!Labels.sbc_adopt}). *)
+
+val enabled : t -> bool
+val depth : t -> int
+
+val park : t -> sc:int -> Descriptor.t -> bool
+(** [park t ~sc d] parks EMPTY descriptor [d] (whose superblock must
+    still be mapped and whose free list must be intact) on size class
+    [sc]'s stack. Returns [false] — caller unmaps and retires — when the
+    cache is disabled or at its watermark. The caller must hold
+    exclusive ownership of [d], exactly as for [Desc_pool.retire]. *)
+
+val adopt : t -> sc:int -> Descriptor.t option
+(** Pop a parked descriptor, transferring exclusive ownership to the
+    caller. Its anchor is EMPTY and its [avail] chain threads all
+    [maxcount] blocks; its [sz]/[maxcount] match size class [sc]. The
+    anchor's [count] field is NOT normalized — an EMPTY reached through
+    [free] carries [maxcount - 1] but one reached through the batched
+    flush carries [maxcount - n] — so adopters must recompute counts
+    from [maxcount] rather than read the parked value (the install in
+    [Lf_alloc.malloc_from_new_sb] does). *)
+
+val parked : t -> sc:int -> int list
+(** Top-first descriptor ids currently parked (quiescent; invariant
+    checker and tests). *)
+
+val stats : t -> stats
+(** Striped totals since creation (quiescent snapshot). *)

@@ -21,13 +21,86 @@ let sim_budget = 100_000_000_000
 let make_sim ?(cpus = sim_cpus) ~seed () =
   Sim.create ~cpus ~seed ~max_cycles:sim_budget ()
 
+(* ------------------------------------------------------------------ *)
+(* OS-traffic census: every experiment table ends with the lock-free
+   allocator's simulated syscall and superblock-pool traffic, summed
+   over every "new" data point the experiment ran and normalized per 1k
+   workload ops. This is the denominator the warm-superblock-cache
+   ablation (DESIGN.md §14) and the scripts/ci.sh mmap gate guard. *)
+
+type os_census = {
+  census_ops : int;
+  census_mmaps : int;
+  census_munmaps : int;
+  census_sb_allocs : int;
+  census_sb_reuses : int;
+}
+
+let zero_census =
+  {
+    census_ops = 0;
+    census_mmaps = 0;
+    census_munmaps = 0;
+    census_sb_allocs = 0;
+    census_sb_reuses = 0;
+  }
+
+let census = ref zero_census
+
+let note_census name (m : Metrics.t) =
+  if name = "new" then begin
+    let os = m.Metrics.os in
+    let c = !census in
+    census :=
+      {
+        census_ops = c.census_ops + m.Metrics.ops;
+        census_mmaps = c.census_mmaps + os.Mm_mem.Store.mmap_calls;
+        census_munmaps = c.census_munmaps + os.Mm_mem.Store.munmap_calls;
+        census_sb_allocs = c.census_sb_allocs + os.Mm_mem.Store.sb_allocs;
+        census_sb_reuses = c.census_sb_reuses + os.Mm_mem.Store.sb_reuses;
+      }
+  end
+
+let census_pairs c =
+  [
+    ("ops", c.census_ops);
+    ("mmap_calls", c.census_mmaps);
+    ("munmap_calls", c.census_munmaps);
+    ("sb_allocs", c.census_sb_allocs);
+    ("sb_reuses", c.census_sb_reuses);
+  ]
+
+let per1k n ops =
+  if ops = 0 then "-"
+  else Printf.sprintf "%.2f" (1000.0 *. float_of_int n /. float_of_int ops)
+
+let census_line c =
+  if c.census_ops = 0 then
+    "os census (new): no simulated data points in this experiment"
+  else
+    Printf.sprintf
+      "os census (new, per 1k ops over %d): mmap %s, munmap %s, sb_allocs \
+       %s, sb_reuses %s"
+      c.census_ops
+      (per1k c.census_mmaps c.census_ops)
+      (per1k c.census_munmaps c.census_ops)
+      (per1k c.census_sb_allocs c.census_ops)
+      (per1k c.census_sb_reuses c.census_ops)
+
+(* Per-experiment censuses from the latest [run]/[run_all], for the
+   structured MM_BENCH_JSON payload. *)
+let censuses : (string, (string * int) list) Hashtbl.t = Hashtbl.create 32
+let os_census id = Option.value (Hashtbl.find_opt censuses id) ~default:[]
+
 (* One simulated data point: fresh machine, fresh heap. *)
 let sim_point ?(cpus = sim_cpus) ?(cfg = Cfg.default) ~seed name workload
     ~threads =
   let sim = make_sim ~cpus ~seed () in
   let rt = Rt.simulated sim in
   let inst = Allocators.make name rt cfg in
-  workload inst ~threads
+  let m = workload inst ~threads in
+  note_census name m;
+  m
 
 (* Real-runtime heaps get the paper's multiprocessor shape (16 heaps)
    unless an experiment overrides it. *)
@@ -41,6 +114,7 @@ let real_point ?(cfg = real_cfg) ?(repeats = 3) name workload ~threads =
   for _ = 1 to repeats do
     let inst = Allocators.make name Rt.real cfg in
     let m = workload inst ~threads in
+    note_census name m;
     match !best with
     | Some b when b.Metrics.throughput >= m.Metrics.throughput -> ()
     | _ -> best := Some m
@@ -444,6 +518,72 @@ let ablation_hyper mode seed =
         ~rows;
   }
 
+let ablation_sbcache mode seed =
+  (* One shared heap concentrates the EMPTY churn (threadtest's
+     alloc-all/free-all phases empty superblocks constantly, and every
+     lost MallocFromNewSB install race frees a just-built superblock);
+     this is the same shape as the contention-sites census. *)
+  let workloads =
+    [
+      ("threadtest x16",
+       fun inst ~threads -> W.Threadtest.run inst ~threads (threadtest_params mode));
+      ("larson x16",
+       fun inst ~threads -> W.Larson.run inst ~threads (larson_params mode));
+    ]
+  in
+  let configs =
+    [
+      ("cache off (paper)", Cfg.make ~nheaps:1 ());
+      ("cache depth 8", Cfg.make ~nheaps:1 ~sb_cache_depth:8 ());
+      ("cache depth 64", Cfg.make ~nheaps:1 ~sb_cache_depth:64 ());
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (wname, wl) ->
+        List.map
+          (fun (cname, cfg) ->
+            let m = sim_point ~cfg ~seed "new" wl ~threads:16 in
+            let os = m.Metrics.os in
+            let syscalls =
+              os.Mm_mem.Store.mmap_calls + os.Mm_mem.Store.munmap_calls
+            in
+            [
+              wname; cname;
+              Render.fmt_throughput m.Metrics.throughput;
+              per1k os.Mm_mem.Store.mmap_calls m.Metrics.ops;
+              per1k os.Mm_mem.Store.munmap_calls m.Metrics.ops;
+              per1k syscalls m.Metrics.ops;
+              per1k os.Mm_mem.Store.sb_reuses m.Metrics.ops;
+              Render.fmt_bytes m.Metrics.space.Mm_mem.Space.mapped_peak;
+            ])
+          configs)
+      workloads
+  in
+  {
+    id = "ablation-sbcache";
+    title =
+      "DESIGN.md §14 ablation: warm superblock cache (EMPTY superblocks \
+       parked per size class instead of unmapped)";
+    expectation =
+      "The paper returns EMPTY superblocks to the OS unconditionally, so \
+       churn phases pay a munmap per EMPTY transition (and an mmap + \
+       free-list init to come back). Parking them on the lock-free \
+       per-class cache collapses that OS traffic to the watermark \
+       overflow residue — syscalls per 1k ops drop by an order of \
+       magnitude on churn — while mapped peak stays within \
+       sb_cache_depth superblocks per active size class of the \
+       cache-off peak.";
+    lines =
+      Render.table
+        ~header:
+          [
+            "benchmark"; "config"; "throughput"; "mmap/1k"; "munmap/1k";
+            "syscalls/1k"; "reuse/1k"; "mapped peak";
+          ]
+        ~rows;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Preemption tolerance: oversubscribe the simulated CPUs. *)
 
@@ -612,6 +752,7 @@ let contention_sites mode seed =
         let c =
           Traced.capture ~nheaps:1 ~name:wname ~threads:16 ~seed wl
         in
+        note_census "new" c.Traced.metric;
         let agg = Option.get c.Traced.metric.Metrics.obs in
         let m = c.Traced.trace.Mm_obs.Trace_file.meta in
         let ops = m.Mm_obs.Trace_file.mallocs + m.Mm_obs.Trace_file.frees in
@@ -765,6 +906,7 @@ let experiments : (string * (mode -> int -> outcome)) list =
     ("ablation-credits", ablation_credits);
     ("ablation-locks", ablation_locks);
     ("ablation-hyper", ablation_hyper);
+    ("ablation-sbcache", ablation_sbcache);
     ("preempt", preempt);
     ("extra-workloads", extra_workloads);
     ("tail-latency", tail_latency);
@@ -780,13 +922,21 @@ let catalogue =
       (id, id))
     experiments
 
+(* Reset the census, run the experiment, append the census line to its
+   table and remember the raw counters for the MM_BENCH_JSON payload. *)
+let with_census id f mode seed =
+  census := zero_census;
+  let o = f mode seed in
+  Hashtbl.replace censuses id (census_pairs !census);
+  { o with lines = o.lines @ [ census_line !census ] }
+
 let run id ~mode ~seed =
   match List.assoc_opt id experiments with
-  | Some f -> f mode seed
+  | Some f -> with_census id f mode seed
   | None -> invalid_arg ("Experiments.run: unknown experiment " ^ id)
 
 let run_all ~mode ~seed =
-  List.map (fun (_, f) -> f mode seed) experiments
+  List.map (fun (id, f) -> with_census id f mode seed) experiments
 
 let print_outcome fmt o =
   Format.fprintf fmt "== %s: %s@." o.id o.title;

@@ -19,7 +19,16 @@ val catalogue : (string * string) list
 (** (id, title) of every experiment, in DESIGN.md order. *)
 
 val run : string -> mode:mode -> seed:int -> outcome
-(** Raises [Invalid_argument] on an unknown id. *)
+(** Raises [Invalid_argument] on an unknown id. Every outcome's table
+    ends with an OS-traffic census line for the lock-free allocator
+    (simulated mmap/munmap syscalls and superblock pool traffic per 1k
+    workload ops, summed over the experiment's "new" data points). *)
+
+val os_census : string -> (string * int) list
+(** Raw OS-census counters ([ops]/[mmap_calls]/[munmap_calls]/
+    [sb_allocs]/[sb_reuses]) recorded by the latest [run] of the given
+    experiment id; [[]] if it has not run. Serialized per experiment
+    into the MM_BENCH_JSON payload by [bench/main.ml]. *)
 
 val run_all : mode:mode -> seed:int -> outcome list
 

@@ -31,11 +31,11 @@ type capture = {
 }
 
 let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
-    ?(allocator = "new") ~name ~threads ~seed wl =
+    ?(allocator = "new") ?(sb_cache = 0) ~name ~threads ~seed wl =
   let nheaps = Option.value nheaps ~default:cpus in
   let sim = Sim.create ~cpus ~seed ~max_cycles:sim_budget () in
   let rt = Rt.simulated sim in
-  let cfg = Cfg.make ~nheaps () in
+  let cfg = Cfg.make ~nheaps ~sb_cache_depth:sb_cache () in
   (* Keep a typed handle on the lock-free allocator so the capture can
      report its op counts and its independent striped retry census. For
      "new-cached" the retry census comes from the wrapped backend while
@@ -97,10 +97,21 @@ let core_sites =
     ("anchor.free", [ L.free_cas; L.bc_flush_cas ]);
     ("update_active", [ L.ua_credits_cas ]);
     ("partial.slot", [ L.free_put_partial ]);
+    ("sbc.park", [ L.sbc_park ]);
+    ("sbc.adopt", [ L.sbc_adopt ]);
   ]
 
 let core_retry_counts agg =
   List.map (fun (site, labels) -> (site, Obs_agg.retries agg ~labels)) core_sites
+
+(* Simulated mmap calls recorded in a trace (one Mmap event per real
+   mapping; superblock-pool and warm-cache reuses emit none), so the CI
+   mmap gate works on recorded traces as well as fresh runs. *)
+let trace_mmaps (tf : Trace_file.t) =
+  let agg = Trace_file.agg tf in
+  List.fold_left
+    (fun n (s : Obs_agg.site) -> n + s.Obs_agg.mmaps)
+    0 agg.Obs_agg.sites
 
 (* ------------------------------------------------------------------ *)
 (* Named workloads (quick parameters) for bin/trace.exe. *)

@@ -24,6 +24,7 @@ val capture :
   ?nheaps:int ->
   ?capacity:int ->
   ?allocator:string ->
+  ?sb_cache:int ->
   name:string ->
   threads:int ->
   seed:int ->
@@ -32,6 +33,8 @@ val capture :
 (** Fresh simulator (16 CPUs, the experiments' cycle budget), fresh
     heap of [allocator] (default ["new"]) with [nheaps] processor heaps
     (default = [cpus]), tracer installed around the workload body.
+    [sb_cache] (default 0 = off, the paper-verbatim path) sets the
+    warm-superblock cache depth per size class (DESIGN.md §14).
     Tracing is host-side only: the simulated run is bit-identical to an
     untraced one. *)
 
@@ -42,6 +45,11 @@ val capture :
 
 val core_sites : (string * string list) list
 val core_retry_counts : Mm_obs.Agg.t -> (string * int) list
+
+val trace_mmaps : Mm_obs.Trace_file.t -> int
+(** Simulated mmap calls recorded in the trace (equals the store's
+    [mmap_calls]; pool and warm-cache reuses emit no event). Used by the
+    [bin/trace.exe report --max-mmap-per-1k] CI gate. *)
 
 (** {2 Named workloads (quick parameters) for the CLI} *)
 

@@ -12,14 +12,31 @@ type t = {
   head : int Rt.atomic;
   get_next : int -> int;
   set_next : int -> int -> unit;
+  push_label : string;
+  pop_label : string;
+  on_push_retry : unit -> unit;
+  on_pop_retry : unit -> unit;
 }
 
 let pack ~tag ~id = (tag lsl (id_bits + 1)) lor (id + 1)
 let unpack_id w = (w land id_mask) - 1
 let unpack_tag w = w lsr (id_bits + 1)
 
-let create rt ~get_next ~set_next =
-  { rt; head = Rt.Atomic.make rt (pack ~tag:0 ~id:(-1)); get_next; set_next }
+let nop () = ()
+
+let create rt ?(push_label = Lf_labels.tis_push_cas)
+    ?(pop_label = Lf_labels.tis_pop_cas) ?(on_push_retry = nop)
+    ?(on_pop_retry = nop) ~get_next ~set_next () =
+  {
+    rt;
+    head = Rt.Atomic.make rt (pack ~tag:0 ~id:(-1));
+    get_next;
+    set_next;
+    push_label;
+    pop_label;
+    on_push_retry;
+    on_pop_retry;
+  }
 
 let push t id =
   if id < 0 || id > max_id then invalid_arg "Tagged_id_stack.push: bad id";
@@ -31,8 +48,9 @@ let push t id =
     (* Pushes reuse the old tag: only pops need to change it, because only
        a pop can complete erroneously under ABA. *)
     let desired = pack ~tag:(unpack_tag old) ~id in
-    Rt.label t.rt Lf_labels.tis_push_cas;
+    Rt.label t.rt t.push_label;
     if not (Rt.Atomic.compare_and_set t.head old desired) then begin
+      t.on_push_retry ();
       Backoff.once b;
       go ()
     end
@@ -48,9 +66,10 @@ let pop t =
     else begin
       let next = t.get_next id in
       let desired = pack ~tag:(unpack_tag old + 1) ~id:next in
-      Rt.label t.rt Lf_labels.tis_pop_cas;
+      Rt.label t.rt t.pop_label;
       if Rt.Atomic.compare_and_set t.head old desired then Some id
       else begin
+        t.on_pop_retry ();
         Backoff.once b;
         go ()
       end

@@ -17,6 +17,7 @@ type t = {
   cache : bool;
   cache_blocks : int;
   cache_batch : int;
+  sb_cache_depth : int;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     cache = false;
     cache_blocks = 64;
     cache_batch = 16;
+    sb_cache_depth = 0;
   }
 
 let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
@@ -46,7 +48,8 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     ?(anchor_tag = default.anchor_tag)
     ?(desc_scan_threshold = default.desc_scan_threshold)
     ?(cache = default.cache) ?(cache_blocks = default.cache_blocks)
-    ?(cache_batch = default.cache_batch) () =
+    ?(cache_batch = default.cache_batch)
+    ?(sb_cache_depth = default.sb_cache_depth) () =
   if nheaps < 0 then invalid_arg "Alloc_config: nheaps must be >= 0";
   if maxcredits < 1 || maxcredits > 64 then
     invalid_arg "Alloc_config: maxcredits must be in [1, 64]";
@@ -57,6 +60,8 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     invalid_arg "Alloc_config: cache_blocks must be >= 1";
   if cache_batch < 1 || cache_batch > cache_blocks then
     invalid_arg "Alloc_config: cache_batch must be in [1, cache_blocks]";
+  if sb_cache_depth < 0 then
+    invalid_arg "Alloc_config: sb_cache_depth must be >= 0";
   {
     nheaps;
     sbsize;
@@ -72,6 +77,7 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     cache;
     cache_blocks;
     cache_batch;
+    sb_cache_depth;
   }
 
 let effective_nheaps t rt =

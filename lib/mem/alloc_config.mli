@@ -55,6 +55,16 @@ type t = {
           A refill reserves up to this many credits in one CAS on Active;
           an overflow or remote-free flush pushes this many blocks back
           through the Fig. 6 path in one anchor CAS per superblock. *)
+  sb_cache_depth : int;
+      (** warm-superblock cache depth per size class
+          ({!Mm_core.Sb_cache}, DESIGN.md §14). [0] (the default)
+          disables the cache and preserves the paper-verbatim EMPTY path:
+          an emptied superblock is munmapped at the transition and its
+          descriptor retired. [> 0] parks up to this many EMPTY
+          descriptors per size class — superblock bytes, intact free
+          list and anchor tag preserved — for adoption by
+          [MallocFromNewSB]; overflow beyond the watermark is genuinely
+          unmapped, so {!Space} peak accounting stays honest. *)
 }
 
 val default : t
@@ -74,6 +84,7 @@ val make :
   ?cache:bool ->
   ?cache_blocks:int ->
   ?cache_batch:int ->
+  ?sb_cache_depth:int ->
   unit ->
   t
 (** [default] with overrides; validates ranges. *)

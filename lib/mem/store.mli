@@ -31,6 +31,12 @@ type os_stats = {
   munmap_calls : int;
   sb_allocs : int;  (** superblock allocations served (incl. recycled) *)
   sb_frees : int;
+  sb_reuses : int;
+      (** superblock allocations served from the recycling pool without
+          a new mapping — no syscall, no mmap event, no eager re-zeroing
+          (stale bytes are cleared lazily by {!init_free_list}). Always
+          [sb_reuses <= sb_allocs]; [sb_allocs - sb_reuses] superblocks
+          came from real (possibly hyperblock-batched) mmaps. *)
 }
 
 val create :
@@ -50,7 +56,11 @@ val os_stats : t -> os_stats
 (** {2 Regions} *)
 
 val alloc_superblock : t -> int
-(** Address of a fresh zero-filled superblock ([sbsize] bytes). *)
+(** Address of a fresh superblock ([sbsize] bytes). A newly mapped
+    superblock is zero-filled; a recycled one (see [sb_reuses]) carries
+    stale bytes until {!init_free_list} lazily restores the
+    all-zero-but-links state — callers thread the free list before
+    publishing the superblock, so no stale byte is ever observable. *)
 
 val free_superblock : t -> int -> unit
 (** [addr] must be the base address of a live superblock. *)
@@ -88,7 +98,9 @@ val init_free_list : t -> int -> sz:int -> maxcount:int -> unit
 (** Thread the in-block free list of a fresh superblock: block [i]'s first
     word is set to [i + 1] ("organize blocks in a linked list starting
     with index 0", Fig. 4). Charged as one streaming write, since the
-    superblock is still private to its creator. *)
+    superblock is still private to its creator. On a recycled superblock
+    this also clears every byte the links don't cover (lazy zeroing —
+    the only full-superblock fill a pool hit ever pays). *)
 
 val write_payload_round : t -> int -> len:int -> times:int -> unit
 (** Model the benchmark pattern "write [times] times to each of the [len]

@@ -20,6 +20,14 @@ dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
 # plus every experiment table, archived so the bench trajectory is
 # diffable across commits (BENCH_0.json in the repo root is the seed).
 MM_BENCH_JSON=_build/ci/bench-report.json dune exec bench/main.exe || true
+# OS-traffic regression gate (DESIGN.md §14): the 16-thread threadtest
+# churn with the warm superblock cache on must keep simulated mmap
+# syscalls under 2 per 1k allocator ops (measured 0.36/1k at the
+# commit that introduced the cache; the store pool and the cache
+# together make churn mmap-free, so a rate above 2 means a recycling
+# path regressed). Exit code 2 fails the gate.
+dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
+  --sb-cache 8 --max-mmap-per-1k 2.0 > /dev/null
 dune build @lint
 dune runtest
 # Executable docs: run every fenced `dune exec` command in README.md,

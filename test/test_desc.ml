@@ -159,6 +159,22 @@ let pl_remove_empty policy () =
   in
   Alcotest.(check bool) "partial survives" true (contains ())
 
+let pl_remove_empty_buried_fifo () =
+  (* Regression: the FIFO arm scans up to its bound (4) of non-empty
+     descriptors, so one call reclaims an EMPTY descriptor buried behind
+     three partials (the old bound of two moves left it stranded). *)
+  let tbl = D.create_table Rt.real ~capacity:128 in
+  let l = Pl.create Rt.real Cfg.Fifo in
+  let ps = List.init 3 (fun _ -> mk_desc tbl Anchor.Partial) in
+  let e = mk_desc tbl Anchor.Empty in
+  List.iter (Pl.put l) ps;
+  Pl.put l e;
+  let retired = ref [] in
+  Pl.remove_empty l ~retire:(fun d -> retired := d :: !retired);
+  Alcotest.(check bool) "buried empty retired in one call" true
+    (!retired = [ e ]);
+  Alcotest.(check int) "partials all retained" 3 (Pl.length l)
+
 let pl_remove_empty_on_empty_list policy () =
   let l = Pl.create Rt.real policy in
   Pl.remove_empty l ~retire:(fun _ -> Alcotest.fail "nothing to retire")
@@ -200,3 +216,4 @@ let cases =
             (pl_remove_empty_all_partial policy);
         ])
       policies
+  @ [ case "partial list reclaims buried empty (fifo)" pl_remove_empty_buried_fifo ]

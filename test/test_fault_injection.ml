@@ -42,6 +42,13 @@ let cached_cfg =
   Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:8 ~desc_scan_threshold:1
     ~cache:true ~cache_blocks:4 ~cache_batch:2 ()
 
+(* The warm-superblock phase needs a shallow cache so both parks
+   (sbc.park) and watermark overflows fire, and the burst/drain cycle
+   adopts parked superblocks back (sbc.adopt) on the next burst. *)
+let sbc_cfg =
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ~desc_scan_threshold:1
+    ~sb_cache_depth:2 ()
+
 let probe_body ~malloc ~free n tid =
   let rng = Prng.create (tid + 31) in
   let burst = Array.make 300 0 in
@@ -55,16 +62,19 @@ let probe_body ~malloc ~free n tid =
     Array.iter free burst
   done
 
-(* Both allocators on one runtime, and a body running the plain phase
-   then the cached phase — together they reach every label in L.all. *)
+(* Three allocators on one runtime, and a body running the plain phase,
+   the cached phase, then the warm-superblock phase — together they
+   reach every label in L.all. *)
 let probe_pair rt =
   let t = A.create rt probe_cfg in
   let tc = Bc.create rt cached_cfg in
+  let ts = A.create rt sbc_cfg in
   let body n tid =
     probe_body ~malloc:(A.malloc t) ~free:(A.free t) n tid;
-    probe_body ~malloc:(Bc.malloc tc) ~free:(Bc.free tc) n tid
+    probe_body ~malloc:(Bc.malloc tc) ~free:(Bc.free tc) n tid;
+    probe_body ~malloc:(A.malloc ts) ~free:(A.free ts) n tid
   in
-  (t, tc, body)
+  (t, tc, ts, body)
 
 let coverage () =
   let hits = Hashtbl.create 32 in
@@ -73,7 +83,7 @@ let coverage () =
     Sim.Continue
   in
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, body = probe_pair (Rt.simulated s) in
+  let t, tc, ts, body = probe_pair (Rt.simulated s) in
   ignore (Sim.run s (Array.init 4 (fun _ -> body 4)));
   List.iter
     (fun l ->
@@ -81,7 +91,8 @@ let coverage () =
         Alcotest.failf "probe workload never reaches label %s" l)
     L.all;
   A.check_invariants t;
-  Bc.check_invariants tc
+  Bc.check_invariants tc;
+  A.check_invariants ts
 
 let threads = 4
 
@@ -105,7 +116,7 @@ let pause_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, pbody = probe_pair (Rt.simulated s) in
+  let t, tc, ts, pbody = probe_pair (Rt.simulated s) in
   let body tid =
     pbody 3 tid;
     finished.(tid) <- true
@@ -119,7 +130,8 @@ let pause_at label () =
   (* The victim resumed and completed too, so the heap is quiescent and
      fully consistent (cached blocks remain allocated by design). *)
   A.check_invariants t;
-  Bc.check_invariants tc
+  Bc.check_invariants tc;
+  A.check_invariants ts
 
 let kill_at label () =
   let killed = ref (-1) in
@@ -131,7 +143,7 @@ let kill_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, pbody = probe_pair (Rt.simulated s) in
+  let t, tc, ts, pbody = probe_pair (Rt.simulated s) in
   let completed = Array.make threads false in
   let body tid =
     pbody 3 tid;
@@ -158,6 +170,8 @@ let kill_at label () =
           Array.iter (A.free t) addrs;
           let addrs = Array.init 200 (fun _ -> Bc.malloc tc 8) in
           Array.iter (Bc.free tc) addrs;
+          let addrs = Array.init 200 (fun _ -> A.malloc ts 8) in
+          Array.iter (A.free ts) addrs;
           s2_ok := true);
       |]
   in

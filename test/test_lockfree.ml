@@ -273,6 +273,7 @@ let tagged_seq () =
     Tis.create Rt.real
       ~get_next:(fun i -> next.(i))
       ~set_next:(fun i v -> next.(i) <- v)
+      ()
   in
   Alcotest.(check bool) "empty" true (Tis.is_empty s);
   Alcotest.(check (option int)) "pop empty" None (Tis.pop s);
@@ -288,7 +289,7 @@ let tagged_seq () =
 
 let tagged_bad_id () =
   let s =
-    Tis.create Rt.real ~get_next:(fun _ -> -1) ~set_next:(fun _ _ -> ())
+    Tis.create Rt.real ~get_next:(fun _ -> -1) ~set_next:(fun _ _ -> ()) ()
   in
   Alcotest.check_raises "negative id"
     (Invalid_argument "Tagged_id_stack.push: bad id") (fun () -> Tis.push s (-1))
@@ -302,6 +303,7 @@ let tagged_conservation () =
       Tis.create rt
         ~get_next:(fun i -> next.(i))
         ~set_next:(fun i v -> next.(i) <- v)
+        ()
     in
     (* Pre-fill with ids 0..255; threads pop/push randomly; at the end
        every id is present exactly once (in stack or never popped). *)

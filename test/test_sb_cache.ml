@@ -1,0 +1,253 @@
+(* The warm EMPTY-superblock cache (DESIGN.md §14): per-size-class
+   lock-free recycle stacks that park an emptied superblock — bytes,
+   free list and anchor tag intact — instead of unmapping it.
+
+   What is verified here:
+   - the preserved anchor tag strictly increases across park → adopt →
+     park cycles of the same descriptor (the Fig. 5 ABA defense carries
+     over to recycled superblocks);
+   - depth 0 is the paper-verbatim path: the cache never touches a
+     shared word, every EMPTY superblock is genuinely unmapped, and the
+     default configuration keeps it off;
+   - OS traffic: on a single-class churn loop the cache eliminates the
+     per-EMPTY munmap, and the mapped-space peak stays within
+     [depth * sbsize] of the cache-off peak (the hysteresis bound);
+   - stats conservation: parks = adopts + still-parked descriptors;
+   - the explorer's address-exclusivity oracle holds over the park and
+     adopt windows, and killing a thread inside either CAS window never
+     lets a block be allocated twice. *)
+
+open Mm_runtime
+module A = Mm_core.Lf_alloc
+module Sbc = Mm_core.Sb_cache
+module D = Mm_core.Descriptor
+module An = Mm_core.Anchor
+module L = Mm_core.Labels
+module Cfg = Mm_mem.Alloc_config
+module Scls = Mm_mem.Size_class
+module Store = Mm_mem.Store
+module Space = Mm_mem.Space
+module O = Mm_check.Oracle
+module E = Mm_check.Explore
+module T = Mm_check.Target
+open Util
+
+(* Small superblocks (4 KiB / 16-byte blocks = 256 per superblock) so a
+   few hundred allocations cycle whole superblocks through EMPTY. *)
+let sbc_cfg ~depth =
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:2 ~desc_scan_threshold:1
+    ~sb_cache_depth:depth ()
+
+(* Allocate more blocks than one superblock holds, then free them all:
+   every superblock that filled up (and so left the Active slot) comes
+   back down through FULL -> PARTIAL -> EMPTY. *)
+let churn t ~blocks =
+  let addrs = Array.init blocks (fun _ -> A.malloc t 8) in
+  Array.iter (A.free t) addrs
+
+let all_parked t =
+  let sbc = A.sb_cache t in
+  let nclasses = Scls.count (A.size_classes t) in
+  List.concat (List.init nclasses (fun sc -> Sbc.parked sbc ~sc))
+
+let anchor_tag t id =
+  An.tag (Rt.Atomic.get (D.get (A.descriptor_table t) id).D.anchor)
+
+(* A parked descriptor's tag may only grow: adoption installs the
+   anchor with tag+1 (MallocFromNewSB line 21 on the preserved value),
+   and every pop afterwards bumps it again — so a CAS held over from the
+   superblock's previous life can never succeed on its next one. *)
+let tag_strictly_increases () =
+  let s = sim ~cpus:1 () in
+  let rt = Rt.simulated s in
+  let t = A.create rt (sbc_cfg ~depth:2) in
+  let last = Hashtbl.create 8 in
+  let strict = ref 0 in
+  let body _ =
+    for _ = 1 to 6 do
+      churn t ~blocks:300;
+      List.iter
+        (fun id ->
+          let tag = anchor_tag t id in
+          (match Hashtbl.find_opt last id with
+          | Some old ->
+              if tag < old then
+                Alcotest.failf
+                  "descriptor %d re-parked with tag %d < earlier %d" id tag
+                  old;
+              if tag > old then incr strict
+          | None -> ());
+          Hashtbl.replace last id tag)
+        (all_parked t)
+    done
+  in
+  ignore (Sim.run s [| body |]);
+  let st = Sbc.stats (A.sb_cache t) in
+  Alcotest.(check bool) "descriptors were adopted" true (st.Sbc.adopts >= 1);
+  Alcotest.(check bool)
+    "an adopted descriptor re-parked with a strictly larger tag" true
+    (!strict >= 1);
+  A.check_invariants t
+
+(* depth = 0: the paper-verbatim path. The cache never records an
+   event, nothing is ever parked, the striped census carries no sbc
+   retries, and every EMPTY superblock pays its munmap. *)
+let depth0_paper_verbatim () =
+  let s = sim ~cpus:1 () in
+  let rt = Rt.simulated s in
+  let t = A.create rt (sbc_cfg ~depth:0) in
+  let body _ = for _ = 1 to 4 do churn t ~blocks:300 done in
+  ignore (Sim.run s [| body |]);
+  let st = Sbc.stats (A.sb_cache t) in
+  Alcotest.(check bool) "cache disabled" false (Sbc.enabled (A.sb_cache t));
+  Alcotest.(check int) "no parks" 0 st.Sbc.parks;
+  Alcotest.(check int) "no adopts" 0 st.Sbc.adopts;
+  Alcotest.(check int) "no overflows" 0 st.Sbc.overflows;
+  Alcotest.(check (list int)) "nothing parked" [] (all_parked t);
+  List.iter
+    (fun (site, n) ->
+      if String.length site >= 4 && String.sub site 0 4 = "sbc." then
+        Alcotest.(check int) ("no retries at " ^ site) 0 n)
+    (A.retry_counts t);
+  let os = Store.os_stats (A.store t) in
+  Alcotest.(check int) "every superblock free is a genuine munmap"
+    os.Store.sb_frees os.Store.munmap_calls;
+  Alcotest.(check bool) "churn did unmap superblocks" true
+    (os.Store.munmap_calls > 0);
+  A.check_invariants t
+
+let default_config_keeps_cache_off () =
+  let s = sim ~cpus:1 () in
+  let t = A.create (Rt.simulated s) Cfg.default in
+  Alcotest.(check bool) "Cfg.default leaves the warm cache off" false
+    (Sbc.enabled (A.sb_cache t))
+
+(* The tentpole's OS-traffic claim, deterministically: the same seeded
+   single-class churn with and without the cache. Parking eliminates
+   the per-EMPTY munmap (only watermark overflow still unmaps), and the
+   retained superblocks cost at most depth * sbsize extra peak. *)
+let munmap_collapse_and_space_bound () =
+  let depth = 4 in
+  let run ~depth =
+    let s = sim ~cpus:1 () in
+    let rt = Rt.simulated s in
+    let t = A.create rt (sbc_cfg ~depth) in
+    let body _ = for _ = 1 to 10 do churn t ~blocks:300 done in
+    ignore (Sim.run s [| body |]);
+    A.check_invariants t;
+    let store = A.store t in
+    (Store.os_stats store, (Space.read (Store.space store)).Space.mapped_peak)
+  in
+  let os_off, peak_off = run ~depth:0 in
+  let os_on, peak_on = run ~depth in
+  Alcotest.(check bool)
+    (Printf.sprintf "munmaps collapse (off %d, on %d)"
+       os_off.Store.munmap_calls os_on.Store.munmap_calls)
+    true
+    (os_on.Store.munmap_calls * 4 <= os_off.Store.munmap_calls);
+  Alcotest.(check bool)
+    (Printf.sprintf "syscall total drops (off %d, on %d)"
+       (os_off.Store.mmap_calls + os_off.Store.munmap_calls)
+       (os_on.Store.mmap_calls + os_on.Store.munmap_calls))
+    true
+    (os_on.Store.mmap_calls + os_on.Store.munmap_calls
+    < os_off.Store.mmap_calls + os_off.Store.munmap_calls);
+  (* Single size class in use, so the hysteresis bound is depth
+     superblocks. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "peak within depth*sbsize (off %d, on %d)" peak_off
+       peak_on)
+    true
+    (peak_on <= peak_off + (depth * 4096))
+
+let stats_conserved () =
+  let s = sim ~cpus:4 () in
+  let rt = Rt.simulated s in
+  let t = A.create rt (sbc_cfg ~depth:2) in
+  let body _ = for _ = 1 to 3 do churn t ~blocks:200 done in
+  ignore (Sim.run s (Array.make 4 (fun i -> body i)));
+  let st = Sbc.stats (A.sb_cache t) in
+  Alcotest.(check int) "parks = adopts + still parked"
+    (st.Sbc.adopts + List.length (all_parked t))
+    st.Sbc.parks;
+  Alcotest.(check bool) "overflows non-negative" true (st.Sbc.overflows >= 0);
+  A.check_invariants t
+
+(* Bounded-exhaustive schedule exploration over the sbcache target (the
+   quick gate runs a bigger budget; this is the in-tree regression). *)
+let explorer_exclusivity () =
+  let r = E.exhaustive T.lf_alloc_sbcache ~threads:2 ~bound:2 ~budget:5_000 in
+  match r.E.finding with
+  | None -> ()
+  | Some f -> Alcotest.failf "sbcache allocator violation: %s" f.E.error
+
+(* Kill a thread inside each cache CAS window. A descriptor mid-park or
+   mid-adopt may leak with its superblock, but the exclusivity oracle
+   proves no survivor — nor a fresh wave afterwards — is ever handed a
+   block twice. *)
+let kill_in_window label () =
+  let killed = ref (-1) in
+  let on_label ~tid l =
+    if l = label && !killed = -1 then begin
+      killed := tid;
+      Sim.Kill
+    end
+    else Sim.Continue
+  in
+  let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
+  let rt = Rt.simulated s in
+  let t =
+    A.create rt
+      (Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ~desc_scan_threshold:1
+         ~sb_cache_depth:2 ())
+  in
+  let orc = O.create_alloc () in
+  let m () =
+    let a = A.malloc t 8 in
+    O.malloc_returned orc a;
+    a
+  in
+  let f a =
+    let p = O.free_invoked orc a in
+    A.free t a;
+    O.free_returned orc p
+  in
+  let body _tid =
+    for _ = 1 to 2 do
+      let addrs = Array.init 120 (fun _ -> m ()) in
+      Array.iter f addrs
+    done
+  in
+  (try ignore (Sim.run s (Array.init 4 (fun _ -> body)))
+   with O.Violation msg -> Alcotest.failf "exclusivity violated: %s" msg);
+  Alcotest.(check bool) ("kill fired: " ^ label) true (!killed >= 0);
+  (* Fresh wave on the same heap: anything the killed thread held —
+     including a descriptor lost between stack pop and anchor install —
+     must stay leaked, never re-issued. *)
+  try
+    ignore
+      (Sim.run s
+         [|
+           (fun _ ->
+             let addrs = Array.init 300 (fun _ -> m ()) in
+             Array.iter f addrs);
+         |])
+  with O.Violation msg ->
+    Alcotest.failf "leaked block re-allocated after kill: %s" msg
+
+let cases =
+  [
+    case "anchor tag strictly increases across park/adopt cycles"
+      tag_strictly_increases;
+    case "depth 0 is the paper-verbatim path" depth0_paper_verbatim;
+    case "default config keeps the cache off" default_config_keeps_cache_off;
+    case "munmap collapse and hysteresis space bound"
+      munmap_collapse_and_space_bound;
+    case "stats conservation: parks = adopts + parked" stats_conserved;
+    case "explorer: exclusivity with the warm cache on" explorer_exclusivity;
+  ]
+  @ List.map
+      (fun l ->
+        case ("kill inside " ^ l ^ " never double-allocates")
+          (kill_in_window l))
+      [ L.sbc_park; L.sbc_adopt ]

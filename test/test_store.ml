@@ -23,14 +23,27 @@ let superblock_basics () =
   Alcotest.(check int) "one mmap" 1 os.Store.mmap_calls;
   Alcotest.(check int) "one munmap" 1 os.Store.munmap_calls
 
-let superblock_recycled_zeroed () =
+let superblock_recycled_lazily_zeroed () =
   let st = fresh () in
   let sb = Store.alloc_superblock st in
   Store.write_word st sb 777;
+  Store.write_word st (sb + 8) 888;
   Store.free_superblock st sb;
+  let mmaps_before = (Store.os_stats st).Store.mmap_calls in
   let sb2 = Store.alloc_superblock st in
   Alcotest.(check int) "recycled region id" (Addr.region sb) (Addr.region sb2);
-  Alcotest.(check int) "fresh superblock zeroed" 0 (Store.read_word st sb2)
+  let os = Store.os_stats st in
+  Alcotest.(check int) "pool hit counts a reuse, not an mmap" mmaps_before
+    os.Store.mmap_calls;
+  Alcotest.(check int) "one sb_reuse" 1 os.Store.sb_reuses;
+  Alcotest.(check int) "two sb_allocs" 2 os.Store.sb_allocs;
+  (* Stale bytes are cleared lazily: init_free_list writes the links and
+     zeroes everything else, so after it the superblock is
+     indistinguishable from a fresh mapping. *)
+  Store.init_free_list st sb2 ~sz:64 ~maxcount:256;
+  Alcotest.(check int) "link word rewritten" 1 (Store.read_word st sb2);
+  Alcotest.(check int) "stale non-link word zeroed" 0
+    (Store.read_word st (sb2 + 8))
 
 let large_blocks () =
   let st = fresh () in
@@ -207,7 +220,8 @@ let space_reset_peaks () =
 let cases =
   [
     case "superblock basics" superblock_basics;
-    case "recycled superblocks zeroed" superblock_recycled_zeroed;
+    case "recycled superblocks reused without mmap, zeroed lazily"
+      superblock_recycled_lazily_zeroed;
     case "large blocks" large_blocks;
     case "bounds are memory-safe" bounds_are_safe;
     case "sim mode asserts on non-racy OOB" sim_bounds_assert;
