@@ -341,6 +341,35 @@ let quick_cmd =
       end;
       Printf.printf "sbcache monitor: %d probes clean\n"
         (List.length m.M.entries);
+      (* 7. The page manager's buddy backend under the same exhaustive
+         budget and kill/stall monitor: concurrent split/coalesce must
+         never hand out overlapping page extents, and a thread killed
+         inside any buddy.*/span.reserve window must only strand its
+         own extent, never corrupt the tree for the survivors. *)
+      let buddy = Option.get (T.find "buddy") in
+      let r = E.exhaustive buddy ~threads ~bound:3 ~budget:20_000 in
+      (match r.E.finding with
+      | Some f ->
+          fail "buddy violation: %s (%s)" f.E.error
+            (S.to_string f.E.minimized)
+      | None ->
+          Printf.printf "buddy exhaustive: clean (%d executions%s)\n"
+            r.E.executions
+            (if r.E.complete then ", complete" else ""));
+      let m = M.run buddy ~threads ~modes:[ M.Kill; M.Stall ] ~rounds:2 in
+      if not m.M.ok then begin
+        List.iter
+          (fun (e : M.entry) ->
+            match e.M.result with
+            | Error msg when e.M.fired ->
+                Printf.eprintf "monitor %s %s round %d: %s\n" e.M.label
+                  (M.mode_name e.M.mode) e.M.round msg
+            | _ -> ())
+          m.M.entries;
+        fail "buddy lock-freedom monitor failed"
+      end;
+      Printf.printf "buddy monitor: %d probes clean\n"
+        (List.length m.M.entries);
       0
     with Exit -> 2
   in

@@ -62,8 +62,16 @@ let sb_cache_arg =
   Arg.(
     value & opt int 0
     & info [ "sb-cache" ] ~docv:"D"
-        ~doc:"Warm-superblock cache depth per size class for the \
-              $(b,new) allocator (0 = off, the paper-verbatim path).")
+        ~doc:"Warm-superblock cache depth per size class for the               $(b,new) allocator (0 = off, the paper-verbatim path).")
+
+let page_manager_arg =
+  Arg.(
+    value & flag
+    & info [ "page-manager" ]
+        ~doc:"Route the $(b,new) allocator's large blocks and superblock \
+              carving through the span reservoir + lock-free buddy \
+              (DESIGN.md S15; off = the paper-verbatim \
+              one-mmap-per-request path).")
 
 let input_arg =
   Arg.(
@@ -73,24 +81,25 @@ let input_arg =
         ~doc:"Read a recorded trace instead of running a workload.")
 
 let capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator
-    ~sb_cache =
+    ~sb_cache ~page_manager =
   match H.find_workload workload with
   | None ->
       Error (Printf.sprintf "unknown workload %s (see `trace list')" workload)
   | Some wl ->
       let nheaps = if heaps = 0 then None else Some heaps in
       Ok
-        (H.capture ~cpus ?nheaps ~capacity ~allocator ~sb_cache ~name:workload
-           ~threads ~seed wl)
+        (H.capture ~cpus ?nheaps ~capacity ~allocator ~sb_cache ~page_manager
+           ~name:workload ~threads ~seed wl)
 
-let obtain input workload threads seed cpus heaps capacity allocator sb_cache =
+let obtain input workload threads seed cpus heaps capacity allocator sb_cache
+    page_manager =
   match input with
   | Some path -> TF.load path
   | None ->
       Result.map
         (fun c -> c.H.trace)
         (capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator
-           ~sb_cache)
+           ~sb_cache ~page_manager)
 
 let usage_err e =
   prerr_endline e;
@@ -111,10 +120,11 @@ let record_cmd =
       value & opt string "trace.json"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
   in
-  let run workload threads seed cpus heaps capacity allocator sb_cache out =
+  let run workload threads seed cpus heaps capacity allocator sb_cache
+      page_manager out =
     match
       capture ~workload ~threads ~seed ~cpus ~heaps ~capacity ~allocator
-        ~sb_cache
+        ~sb_cache ~page_manager
     with
     | Error e -> usage_err e
     | Ok c ->
@@ -130,7 +140,8 @@ let record_cmd =
   Cmd.v (Cmd.info "record" ~doc)
     Term.(
       const run $ workload_arg $ threads_arg $ seed_arg $ cpus_arg
-      $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg $ out)
+      $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg
+      $ page_manager_arg $ out)
 
 let report_cmd =
   let doc =
@@ -152,10 +163,21 @@ let report_cmd =
                 1k allocator ops exceed $(docv) (guards the \
                 superblock-recycling paths against regression).")
   in
+  let max_large_mmap =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-large-mmap-per-1k" ] ~docv:"X"
+          ~doc:"CI gate: exit 2 when the run's large-path mmap calls \
+                (site store.mmap.large) per 1k allocator ops exceed \
+                $(docv) (guards the page-manager large-block routing \
+                against regression).")
+  in
   let run input workload threads seed cpus heaps capacity allocator sb_cache
-      format max_mmap =
+      page_manager format max_mmap max_large_mmap =
     match
-      obtain input workload threads seed cpus heaps capacity allocator sb_cache
+      obtain input workload threads seed cpus heaps capacity allocator
+        sb_cache page_manager
     with
     | Error e -> usage_err e
     | Ok trace -> (
@@ -163,34 +185,40 @@ let report_cmd =
         | `Text -> List.iter print_endline (H.report_lines trace)
         | `Json ->
             print_endline (Mm_obs.Json.to_string (H.report_json trace)));
-        match max_mmap with
-        | None -> 0
-        | Some limit ->
-            let m = trace.TF.meta in
-            let aops = m.TF.mallocs + m.TF.frees in
-            let mmaps = H.trace_mmaps trace in
-            let rate =
-              if aops = 0 then Float.infinity
-              else 1000.0 *. float_of_int mmaps /. float_of_int aops
-            in
-            if rate > limit then begin
-              Printf.eprintf
-                "mmap gate FAILED: %.2f mmap calls per 1k ops (%d mmaps / \
-                 %d ops) > limit %.2f\n"
-                rate mmaps aops limit;
-              2
-            end
-            else begin
-              Printf.printf "mmap gate ok: %.2f per 1k ops <= %.2f\n" rate
-                limit;
-              0
-            end)
+        let m = trace.TF.meta in
+        let aops = m.TF.mallocs + m.TF.frees in
+        let rate n =
+          if aops = 0 then Float.infinity
+          else 1000.0 *. float_of_int n /. float_of_int aops
+        in
+        let gate what limit n =
+          let r = rate n in
+          if r > limit then begin
+            Printf.eprintf
+              "%s gate FAILED: %.2f per 1k ops (%d / %d ops) > limit %.2f\n"
+              what r n aops limit;
+            2
+          end
+          else begin
+            Printf.printf "%s gate ok: %.2f per 1k ops <= %.2f\n" what r
+              limit;
+            0
+          end
+        in
+        match
+          ( Option.map (fun l -> gate "mmap" l (H.trace_mmaps trace)) max_mmap,
+            Option.map
+              (fun l -> gate "large-mmap" l (H.trace_large_mmaps trace))
+              max_large_mmap )
+        with
+        | (Some 2, _ | _, Some 2) -> 2
+        | _ -> 0)
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
       $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg
-      $ format $ max_mmap)
+      $ page_manager_arg $ format $ max_mmap $ max_large_mmap)
 
 let export_cmd =
   let doc =
@@ -211,9 +239,10 @@ let export_cmd =
           ~doc:"Output file (default: stdout).")
   in
   let run input workload threads seed cpus heaps capacity allocator sb_cache
-      _chrome out =
+      page_manager _chrome out =
     match
-      obtain input workload threads seed cpus heaps capacity allocator sb_cache
+      obtain input workload threads seed cpus heaps capacity allocator
+        sb_cache page_manager
     with
     | Error e -> usage_err e
     | Ok trace ->
@@ -239,7 +268,7 @@ let export_cmd =
     Term.(
       const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
       $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg
-      $ chrome $ out)
+      $ page_manager_arg $ chrome $ out)
 
 let () =
   let doc = "Lock-free allocator observability: record / report / export." in

@@ -205,6 +205,68 @@ let lf_alloc_sbcache =
     run = sbcache_run;
   }
 
+(* The page-manager target: the span reservoir + lock-free buddy
+   (lib/pages) driven directly, against per-page address exclusivity —
+   no two live grants may overlap in any page. Spans are 4 pages, so
+   each thread's 1+2+1-page pattern forces splits, an exact fit,
+   coalescing, and (with two threads racing a fresh reservoir)
+   order-0 exhaustion into a second span reservation — every Pg_labels
+   window falls inside six operations. Release is
+   fragmentation-tolerant (abandoned coalesces leave split-but-free
+   trees), so quiescence asserts the conservation invariant and zero
+   live grants, not a fully-folded tree. *)
+let buddy_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
+    ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let store = Mm_mem.Store.create rt ~capacity:128 ~sbsize:4096 () in
+  let pm =
+    Mm_pages.Page_manager.create rt store ~max_spans:4 ~span_pages:4 ()
+  in
+  let page = Mm_mem.Store.page in
+  let orc = Oracle.create_alloc () in
+  let m pages =
+    match Mm_pages.Page_manager.alloc pm ~len:(pages * page) with
+    | None -> None
+    | Some a ->
+        for i = 0 to pages - 1 do
+          Oracle.malloc_returned orc (a + (i * page))
+        done;
+        Some a
+  in
+  let f a pages =
+    let ps =
+      List.init pages (fun i -> Oracle.free_invoked orc (a + (i * page)))
+    in
+    if not (Mm_pages.Page_manager.free pm a ~len:(pages * page)) then
+      failwith "page manager disowned a granted extent";
+    List.iter (Oracle.free_returned orc) ps
+  in
+  let body _tid =
+    let a = m 1 in
+    let b = m 2 in
+    Option.iter (fun x -> f x 1) a;
+    let c = m 1 in
+    Option.iter (fun x -> f x 2) b;
+    Option.iter (fun x -> f x 1) c
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks then begin
+        Mm_pages.Page_manager.check_invariants pm;
+        if Oracle.live_count orc <> 0 then
+          failwith "buddy grants still live at quiescence"
+      end)
+
+let buddy =
+  {
+    name = "buddy";
+    doc = "span reservoir + lock-free buddy; per-page exclusivity oracle";
+    default_threads = 2;
+    labels = Mm_pages.Pg_labels.all;
+    run = buddy_run;
+  }
+
 (* MS queue target: per-thread enqueue/dequeue bursts checked against the
    per-producer FIFO oracle. Enqueues are recorded before invocation
    (so a concurrent dequeue of the value is never "thin air"), dequeues
@@ -381,7 +443,7 @@ let tagged_id_stack =
   }
 
 let all =
-  [ lf_alloc; lf_alloc_notag; lf_alloc_cached; lf_alloc_sbcache; ms_queue;
-    desc_pool; treiber_stack; tagged_id_stack ]
+  [ lf_alloc; lf_alloc_notag; lf_alloc_cached; lf_alloc_sbcache; buddy;
+    ms_queue; desc_pool; treiber_stack; tagged_id_stack ]
 
 let find name = List.find_opt (fun t -> t.name = name) all

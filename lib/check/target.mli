@@ -54,6 +54,15 @@ val lf_alloc_sbcache : t
     race. Expected clean: a descriptor lost between stack pop and
     anchor install leaks with its superblock, never double-serves. *)
 
+val buddy : t
+(** The page manager's span reservoir + lock-free buddy
+    ([Mm_pages.Page_manager], 4-page spans) driven directly: each
+    thread's 1+2+1-page pattern forces splits, exact fits, coalescing
+    and a racing second span reservation, under per-page address
+    exclusivity (no two live grants may overlap in any page). Expected
+    clean: a thread killed mid-claim strands its extent, never hands it
+    out twice. *)
+
 val ms_queue : t
 val desc_pool : t
 

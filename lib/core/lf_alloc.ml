@@ -5,6 +5,7 @@ module Addr = Mm_mem.Addr
 module Sc = Mm_mem.Size_class
 module Prefix = Mm_mem.Block_prefix
 module Backoff = Mm_lockfree.Backoff
+module Pm = Mm_pages.Page_manager
 
 (* Line numbers in comments refer to the paper's Figures 4 (malloc) and
    6 (free). *)
@@ -27,6 +28,7 @@ type t = {
   table : Descriptor.table;
   pool : Desc_pool.t;
   sbc : Sb_cache.t;  (* warm EMPTY-superblock cache, DESIGN.md §14 *)
+  pm : Pm.t option;  (* span reservoir + buddy backend, DESIGN.md §15 *)
   mallocs : int array;  (* striped per-thread op counters *)
   frees : int array;
   (* CAS-retry counters per contention site (striped per thread):
@@ -39,11 +41,16 @@ type t = {
   retry_partial_slot : int array;
   retry_park : int array;
   retry_adopt : int array;
+  retry_buddy_acquire : int array;
+  retry_buddy_release : int array;
+  retry_buddy_coalesce : int array;
+  retry_span_reserve : int array;
 }
 
 let retry_sites =
   [ "active.reserve"; "anchor.pop"; "anchor.free"; "update_active";
-    "partial.slot"; "sbc.park"; "sbc.adopt" ]
+    "partial.slot"; "sbc.park"; "sbc.adopt"; "buddy.acquire";
+    "buddy.release"; "buddy.coalesce"; "span.reserve" ]
 
 let name = "new"
 
@@ -86,6 +93,21 @@ let create rt (cfg : Cfg.t) =
         retry_adopt.(Rt.self rt) <- retry_adopt.(Rt.self rt) + 1)
       ()
   in
+  let retry_buddy_acquire = Array.make Rt.max_threads 0 in
+  let retry_buddy_release = Array.make Rt.max_threads 0 in
+  let retry_buddy_coalesce = Array.make Rt.max_threads 0 in
+  let retry_span_reserve = Array.make Rt.max_threads 0 in
+  let stripe arr () = arr.(Rt.self rt) <- arr.(Rt.self rt) + 1 in
+  let pm =
+    if cfg.page_manager then
+      Some
+        (Pm.create rt store ~span_pages:cfg.span_pages
+           ~on_acquire_retry:(stripe retry_buddy_acquire)
+           ~on_release_retry:(stripe retry_buddy_release)
+           ~on_coalesce_retry:(stripe retry_buddy_coalesce)
+           ~on_span_retry:(stripe retry_span_reserve) ())
+    else None
+  in
   {
     rt;
     cfg;
@@ -97,6 +119,7 @@ let create rt (cfg : Cfg.t) =
     table;
     pool;
     sbc;
+    pm;
     mallocs = Array.make Rt.max_threads 0;
     frees = Array.make Rt.max_threads 0;
     retry_reserve = Array.make Rt.max_threads 0;
@@ -106,6 +129,10 @@ let create rt (cfg : Cfg.t) =
     retry_partial_slot = Array.make Rt.max_threads 0;
     retry_park;
     retry_adopt;
+    retry_buddy_acquire;
+    retry_buddy_release;
+    retry_buddy_coalesce;
+    retry_span_reserve;
   }
 
 let bump t arr = arr.(Rt.self t.rt) <- arr.(Rt.self t.rt) + 1
@@ -120,11 +147,36 @@ let retry_counts t =
     ("partial.slot", sum t.retry_partial_slot);
     ("sbc.park", sum t.retry_park);
     ("sbc.adopt", sum t.retry_adopt);
+    ("buddy.acquire", sum t.retry_buddy_acquire);
+    ("buddy.release", sum t.retry_buddy_release);
+    ("buddy.coalesce", sum t.retry_buddy_coalesce);
+    ("span.reserve", sum t.retry_span_reserve);
   ]
 
 let rt t = t.rt
 let store t = t.store
 let sb_cache t = t.sbc
+let page_manager t = t.pm
+
+(* Superblock backing: with the page manager on, superblocks are carved
+   out of reserved spans (no syscall) and released back to the owning
+   span's buddy; the store's mmap/munmap path serves only the
+   [page_manager:false] configuration and reservoir exhaustion. A
+   released superblock routes by ownership — [Pm.free] recognizes span
+   extents by region, so store-mapped superblocks (including any
+   allocated before the reservoir filled) still unmap correctly. *)
+let alloc_sb t =
+  match t.pm with
+  | Some pm -> (
+      match Pm.alloc pm ~len:t.cfg.sbsize with
+      | Some addr -> addr
+      | None -> Store.alloc_superblock t.store)
+  | None -> Store.alloc_superblock t.store
+
+let release_sb t sb =
+  match t.pm with
+  | Some pm when Pm.free pm sb ~len:t.cfg.sbsize -> ()
+  | _ -> Store.free_superblock t.store sb
 let size_classes t = t.classes
 let nheaps t = t.nheaps_
 let descriptor_table t = t.table
@@ -166,7 +218,7 @@ let release_empty t desc =
     if Sb_cache.park t.sbc ~sc desc then
       Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
     else begin
-      Store.free_superblock t.store desc.Descriptor.sb;
+      release_sb t desc.Descriptor.sb;
       desc.Descriptor.sb <- Addr.null;
       Desc_pool.retire t.pool desc
     end
@@ -440,7 +492,7 @@ let adopt_parked t heap =
         if Sb_cache.park t.sbc ~sc:heap.sc desc then
           Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
         else begin
-          Store.free_superblock t.store desc.Descriptor.sb;
+          release_sb t desc.Descriptor.sb;
           desc.Descriptor.sb <- Addr.null;
           Desc_pool.retire t.pool desc
         end;
@@ -454,13 +506,13 @@ let malloc_from_new_sb_fresh t heap =
   let maxcount =
     min (Sc.blocks_per_superblock t.classes heap.sc) Anchor.max_count
   in
-  let sb = Store.alloc_superblock t.store in
+  let sb = alloc_sb t in
   (* line 2 *)
   desc.Descriptor.sb <- sb;
   desc.Descriptor.heap_gid <- heap.gid;
   desc.Descriptor.sz <- sz;
   desc.Descriptor.maxcount <- maxcount;
-  Store.init_free_list t.store sb ~sz ~maxcount;
+  Store.init_free_list ~limit:t.cfg.sbsize t.store sb ~sz ~maxcount;
   (* line 3 *)
   (* line 9: newactive.credits = min(maxcount-1, MAXCREDITS) - 1 *)
   let credits = min (maxcount - 1) t.cfg.maxcredits - 1 in
@@ -498,7 +550,7 @@ let malloc_from_new_sb_fresh t heap =
     in
     if parked then Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
     else begin
-      Store.free_superblock t.store sb;
+      release_sb t sb;
       Rt.Atomic.set desc.Descriptor.anchor
         (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:(oldtag + 2));
       desc.Descriptor.sb <- Addr.null;
@@ -515,11 +567,28 @@ let malloc_from_new_sb t heap =
 (* ------------------------------------------------------------------ *)
 (* malloc (Fig. 4). *)
 
+(* lines 2-3, rerouted: with the page manager on, large blocks come
+   from a span's buddy (no syscall) and only spill to the store's
+   direct-map path when no span can serve the size. The prefix records
+   the total length either way — [free_large_block] recovers the
+   buddy order from it. *)
 let malloc_large t n =
   let len = n + Prefix.prefix_bytes in
-  let base = Store.alloc_large t.store ~len in
+  let base =
+    match t.pm with
+    | Some pm -> (
+        match Pm.alloc pm ~len with
+        | Some addr -> addr
+        | None -> Store.alloc_large t.store ~len)
+    | None -> Store.alloc_large t.store ~len
+  in
   Store.write_word t.store base (Prefix.large ~total_len:len);
   base + Prefix.prefix_bytes
+
+let free_large_block t base prefix =
+  match t.pm with
+  | Some pm when Pm.free pm base ~len:(Prefix.large_len prefix) -> ()
+  | _ -> Store.free_large t.store base
 
 let malloc t n =
   if n < 0 then invalid_arg "Lf_alloc.malloc: negative size";
@@ -557,8 +626,7 @@ let finish_push t desc = function
          bytes + free list + anchor together (release_empty), or unmaps
          there if the cache is full. Unmapping here would tear the
          superblock away before ownership of the descriptor settles. *)
-      if not (Sb_cache.enabled t.sbc) then
-        Store.free_superblock t.store desc.Descriptor.sb;
+      if not (Sb_cache.enabled t.sbc) then release_sb t desc.Descriptor.sb;
       remove_empty_desc t (heap_of_gid t heap_gid) desc
   | Anchor.Full, false, _ ->
       Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
@@ -637,7 +705,7 @@ let free t payload =
       Mm_mem.Alloc_ops.resolve t.store payload
     in
     let base = base_payload - Prefix.prefix_bytes in
-    if Prefix.is_large prefix then Store.free_large t.store base
+    if Prefix.is_large prefix then free_large_block t base prefix
       (* lines 4-5 *)
     else free_small t base prefix
   end
@@ -830,7 +898,7 @@ let flush_batch t payloads =
     (fun payload ->
       let base = payload - Prefix.prefix_bytes in
       let prefix = Store.read_word t.store base in
-      if Prefix.is_large prefix then Store.free_large t.store base
+      if Prefix.is_large prefix then free_large_block t base prefix
       else begin
         let id = Prefix.desc_id prefix in
         match Hashtbl.find_opt groups id with
@@ -910,6 +978,9 @@ let pp_heap_summary fmt t =
 let fail fmt = Format.kasprintf failwith fmt
 
 let check_invariants t =
+  (* 0. Page-manager conservation: every span's buddy accounts for all
+     of its pages as free or busy. *)
+  Option.iter Pm.check_invariants t.pm;
   (* 1. Collect every reference to a descriptor and ensure uniqueness. *)
   let refs : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let active_reserved : (int, int) Hashtbl.t = Hashtbl.create 64 in

@@ -31,6 +31,12 @@ val sb_cache : t -> Sb_cache.t
     malloc/free paths bit-identical to the paper's figures — when the
     configuration's [sb_cache_depth] is 0. *)
 
+val page_manager : t -> Mm_pages.Page_manager.t option
+(** The span reservoir + lock-free buddy backend (DESIGN.md §15) large
+    blocks and superblock carving route through, or [None] — and those
+    paths bit-identical to the paper's one-mmap-per-request figures —
+    when the configuration's [page_manager] is [false]. *)
+
 val heap_active_desc : t -> sc:int -> heap:int -> (Descriptor.t * int) option
 (** The active descriptor of the given processor heap and its current
     credits, if any (quiescent snapshot). *)

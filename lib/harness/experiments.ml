@@ -34,6 +34,10 @@ type os_census = {
   census_munmaps : int;
   census_sb_allocs : int;
   census_sb_reuses : int;
+  census_large_mmaps : int;
+  census_large_munmaps : int;
+  census_pages_requested : int;
+  census_pages_granted : int;
 }
 
 let zero_census =
@@ -43,6 +47,10 @@ let zero_census =
     census_munmaps = 0;
     census_sb_allocs = 0;
     census_sb_reuses = 0;
+    census_large_mmaps = 0;
+    census_large_munmaps = 0;
+    census_pages_requested = 0;
+    census_pages_granted = 0;
   }
 
 let census = ref zero_census
@@ -58,6 +66,14 @@ let note_census name (m : Metrics.t) =
         census_munmaps = c.census_munmaps + os.Mm_mem.Store.munmap_calls;
         census_sb_allocs = c.census_sb_allocs + os.Mm_mem.Store.sb_allocs;
         census_sb_reuses = c.census_sb_reuses + os.Mm_mem.Store.sb_reuses;
+        census_large_mmaps =
+          c.census_large_mmaps + os.Mm_mem.Store.large_mmaps;
+        census_large_munmaps =
+          c.census_large_munmaps + os.Mm_mem.Store.large_munmaps;
+        census_pages_requested =
+          c.census_pages_requested + os.Mm_mem.Store.pages_requested;
+        census_pages_granted =
+          c.census_pages_granted + os.Mm_mem.Store.pages_granted;
       }
   end
 
@@ -68,11 +84,26 @@ let census_pairs c =
     ("munmap_calls", c.census_munmaps);
     ("sb_allocs", c.census_sb_allocs);
     ("sb_reuses", c.census_sb_reuses);
+    ("large_mmaps", c.census_large_mmaps);
+    ("large_munmaps", c.census_large_munmaps);
+    ("pages_requested", c.census_pages_requested);
+    ("pages_granted", c.census_pages_granted);
   ]
 
 let per1k n ops =
   if ops = 0 then "-"
   else Printf.sprintf "%.2f" (1000.0 *. float_of_int n /. float_of_int ops)
+
+(* Internal fragmentation of buddy-served requests: the share of granted
+   pages the power-of-two rounding wasted. "-" when nothing went through
+   the buddy (page manager off, or no large/new-superblock traffic). *)
+let frag_pct c =
+  if c.census_pages_granted = 0 then "-"
+  else
+    Printf.sprintf "%.1f%%"
+      (100.0
+      *. float_of_int (c.census_pages_granted - c.census_pages_requested)
+      /. float_of_int c.census_pages_granted)
 
 let census_line c =
   if c.census_ops = 0 then
@@ -80,12 +111,15 @@ let census_line c =
   else
     Printf.sprintf
       "os census (new, per 1k ops over %d): mmap %s, munmap %s, sb_allocs \
-       %s, sb_reuses %s"
+       %s, sb_reuses %s, large_mmap %s, large_munmap %s, buddy frag %s"
       c.census_ops
       (per1k c.census_mmaps c.census_ops)
       (per1k c.census_munmaps c.census_ops)
       (per1k c.census_sb_allocs c.census_ops)
       (per1k c.census_sb_reuses c.census_ops)
+      (per1k c.census_large_mmaps c.census_ops)
+      (per1k c.census_large_munmaps c.census_ops)
+      (frag_pct c)
 
 (* Per-experiment censuses from the latest [run]/[run_all], for the
    structured MM_BENCH_JSON payload. *)
@@ -584,6 +618,119 @@ let ablation_sbcache mode seed =
         ~rows;
   }
 
+let large_alloc_params = function
+  | Quick -> W.Large_alloc.quick
+  | Full -> { W.Large_alloc.default with W.Large_alloc.rounds = 20_000 }
+
+(* Mixed small/large churn across every allocator: the workload the
+   page-manager ablation below optimizes, measured first on the stock
+   configurations. *)
+let large_alloc mode seed =
+  let wl inst ~threads =
+    W.Large_alloc.run inst ~threads (large_alloc_params mode)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let m = sim_point ~seed name wl ~threads:8 in
+        let os = m.Metrics.os in
+        [
+          name;
+          Render.fmt_throughput m.Metrics.throughput;
+          per1k os.Mm_mem.Store.mmap_calls m.Metrics.ops;
+          per1k os.Mm_mem.Store.munmap_calls m.Metrics.ops;
+          Render.fmt_bytes m.Metrics.space.Mm_mem.Space.mapped_peak;
+        ])
+      allocators
+  in
+  {
+    id = "large-alloc";
+    title =
+      "Extension workload: mixed sizes straddling the large-allocation \
+       threshold (simulated, 8 threads)";
+    expectation =
+      "Not in the paper: every allocator serves above-threshold blocks \
+       with one mmap/munmap per block (Fig. 4 lines 2-3), so OS traffic, \
+       not heap contention, dominates — the motivation for the \
+       DESIGN.md §15 page manager.";
+    lines =
+      Render.table
+        ~header:[ "allocator"; "throughput"; "mmap/1k"; "munmap/1k";
+                  "mapped peak" ]
+        ~rows;
+  }
+
+let ablation_pages mode seed =
+  let workloads =
+    [
+      ("large-alloc x8",
+       fun inst ~threads ->
+         W.Large_alloc.run inst ~threads (large_alloc_params mode));
+      ("threadtest x8",
+       fun inst ~threads ->
+         W.Threadtest.run inst ~threads (threadtest_params mode));
+    ]
+  in
+  let configs =
+    [
+      ("pages off (paper)", Cfg.make ());
+      ("pages on, 64p spans", Cfg.make ~page_manager:true ());
+      ("pages on, 256p spans", Cfg.make ~page_manager:true ~span_pages:256 ());
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (wname, wl) ->
+        List.map
+          (fun (cname, cfg) ->
+            let m = sim_point ~cfg ~seed "new" wl ~threads:8 in
+            let os = m.Metrics.os in
+            let frag =
+              frag_pct
+                {
+                  zero_census with
+                  census_pages_requested = os.Mm_mem.Store.pages_requested;
+                  census_pages_granted = os.Mm_mem.Store.pages_granted;
+                }
+            in
+            [
+              wname; cname;
+              Render.fmt_throughput m.Metrics.throughput;
+              per1k os.Mm_mem.Store.large_mmaps m.Metrics.ops;
+              per1k os.Mm_mem.Store.large_munmaps m.Metrics.ops;
+              per1k
+                (os.Mm_mem.Store.mmap_calls + os.Mm_mem.Store.munmap_calls)
+                m.Metrics.ops;
+              frag;
+              Render.fmt_bytes m.Metrics.space.Mm_mem.Space.mapped_peak;
+            ])
+          configs)
+      workloads
+  in
+  {
+    id = "ablation-pages";
+    title =
+      "DESIGN.md §15 ablation: span reservoir + lock-free buddy vs \
+       one-mmap-per-request large blocks and superblocks";
+    expectation =
+      "The paper direct-maps everything above the size-class threshold, \
+       so large-alloc pays ~one mmap+munmap per large block. Routing \
+       those blocks (and superblock carving) through reserved spans \
+       collapses large-path syscalls to the span-reservation residue — \
+       well over 5x fewer large mmaps — at the cost of power-of-two \
+       internal fragmentation inside spans and span-granular mapped \
+       peak; threadtest shows the superblock-carving path is not \
+       slower.";
+    lines =
+      Render.table
+        ~header:
+          [
+            "benchmark"; "config"; "throughput"; "lg mmap/1k";
+            "lg munmap/1k"; "syscalls/1k"; "frag"; "mapped peak";
+          ]
+        ~rows;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Preemption tolerance: oversubscribe the simulated CPUs. *)
 
@@ -907,6 +1054,8 @@ let experiments : (string * (mode -> int -> outcome)) list =
     ("ablation-locks", ablation_locks);
     ("ablation-hyper", ablation_hyper);
     ("ablation-sbcache", ablation_sbcache);
+    ("large-alloc", large_alloc);
+    ("ablation-pages", ablation_pages);
     ("preempt", preempt);
     ("extra-workloads", extra_workloads);
     ("tail-latency", tail_latency);

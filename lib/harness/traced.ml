@@ -4,6 +4,7 @@ module W = Mm_workloads
 module Lf = Mm_core.Lf_alloc
 module Bc = Mm_core.Block_cache
 module L = Mm_core.Labels
+module Pg = Mm_pages.Pg_labels
 module Obs_agg = Mm_obs.Agg
 module Trace_file = Mm_obs.Trace_file
 module Json = Mm_obs.Json
@@ -31,11 +32,12 @@ type capture = {
 }
 
 let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
-    ?(allocator = "new") ?(sb_cache = 0) ~name ~threads ~seed wl =
+    ?(allocator = "new") ?(sb_cache = 0) ?(page_manager = false) ~name
+    ~threads ~seed wl =
   let nheaps = Option.value nheaps ~default:cpus in
   let sim = Sim.create ~cpus ~seed ~max_cycles:sim_budget () in
   let rt = Rt.simulated sim in
-  let cfg = Cfg.make ~nheaps ~sb_cache_depth:sb_cache () in
+  let cfg = Cfg.make ~nheaps ~sb_cache_depth:sb_cache ~page_manager () in
   (* Keep a typed handle on the lock-free allocator so the capture can
      report its op counts and its independent striped retry census. For
      "new-cached" the retry census comes from the wrapped backend while
@@ -99,6 +101,10 @@ let core_sites =
     ("partial.slot", [ L.free_put_partial ]);
     ("sbc.park", [ L.sbc_park ]);
     ("sbc.adopt", [ L.sbc_adopt ]);
+    ("buddy.acquire", [ Pg.buddy_acquire ]);
+    ("buddy.release", [ Pg.buddy_release ]);
+    ("buddy.coalesce", [ Pg.buddy_coalesce ]);
+    ("span.reserve", [ Pg.span_reserve ]);
   ]
 
 let core_retry_counts agg =
@@ -112,6 +118,15 @@ let trace_mmaps (tf : Trace_file.t) =
   List.fold_left
     (fun n (s : Obs_agg.site) -> n + s.Obs_agg.mmaps)
     0 agg.Obs_agg.sites
+
+(* Large-path mappings only (site "store.mmap.large" — Fig. 4 lines 2-3
+   going straight to the OS). The page manager exists to make this
+   number collapse; the CI gate bounds it per 1k allocator ops. *)
+let trace_large_mmaps (tf : Trace_file.t) =
+  let agg = Trace_file.agg tf in
+  match Obs_agg.site agg "store.mmap.large" with
+  | Some s -> s.Obs_agg.mmaps
+  | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Named workloads (quick parameters) for bin/trace.exe. *)
@@ -137,6 +152,8 @@ let workloads =
         W.False_sharing.run inst ~threads
           { W.False_sharing.quick_active with pairs = 200; passive = true } );
     ("shbench", fun inst ~threads -> W.Shbench.run inst ~threads W.Shbench.quick);
+    ( "large-alloc",
+      fun inst ~threads -> W.Large_alloc.run inst ~threads W.Large_alloc.quick );
   ]
 
 let find_workload name = List.assoc_opt name workloads

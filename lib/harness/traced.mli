@@ -25,6 +25,7 @@ val capture :
   ?capacity:int ->
   ?allocator:string ->
   ?sb_cache:int ->
+  ?page_manager:bool ->
   name:string ->
   threads:int ->
   seed:int ->
@@ -34,9 +35,11 @@ val capture :
     heap of [allocator] (default ["new"]) with [nheaps] processor heaps
     (default = [cpus]), tracer installed around the workload body.
     [sb_cache] (default 0 = off, the paper-verbatim path) sets the
-    warm-superblock cache depth per size class (DESIGN.md §14).
-    Tracing is host-side only: the simulated run is bit-identical to an
-    untraced one. *)
+    warm-superblock cache depth per size class (DESIGN.md §14);
+    [page_manager] (default [false] = off, likewise paper-verbatim)
+    routes large blocks and superblock carving through the [lib/pages]
+    span reservoir (DESIGN.md §15). Tracing is host-side only: the
+    simulated run is bit-identical to an untraced one. *)
 
 (** {2 The paper's §4.2.3 contention sites}
 
@@ -50,6 +53,12 @@ val trace_mmaps : Mm_obs.Trace_file.t -> int
 (** Simulated mmap calls recorded in the trace (equals the store's
     [mmap_calls]; pool and warm-cache reuses emit no event). Used by the
     [bin/trace.exe report --max-mmap-per-1k] CI gate. *)
+
+val trace_large_mmaps : Mm_obs.Trace_file.t -> int
+(** Large-path mmap calls only (the ["store.mmap.large"] site — requests
+    above the size-class threshold going straight to the OS). Used by
+    the [bin/trace.exe report --max-large-mmap-per-1k] CI gate; the
+    page manager (DESIGN.md §15) exists to collapse this number. *)
 
 (** {2 Named workloads (quick parameters) for the CLI} *)
 

@@ -1,5 +1,6 @@
 (* R5, cross-file half: the label registries (lib/core/labels.ml as
-   [Labels], lib/lockfree/lf_labels.ml as [Lf_labels]) must be exact —
+   [Labels], lib/lockfree/lf_labels.ml as [Lf_labels],
+   lib/pages/pg_labels.ml as [Pg_labels]) must be exact —
    every binding is a distinct string, listed in [all], and referenced
    from the instrumented sections. The fault-injection suites and the
    schedule explorer iterate [all]; a stale or missing entry silently
@@ -22,6 +23,7 @@ let registry_module (src : Source.t) =
   match (src.Source.section, Filename.basename src.Source.path) with
   | Source.Core, "labels.ml" -> Some "Labels"
   | Source.Lockfree, "lf_labels.ml" -> Some "Lf_labels"
+  | Source.Pages, "pg_labels.ml" -> Some "Pg_labels"
   | _ -> None
 
 let rec list_idents acc e =
@@ -138,8 +140,8 @@ let check (sources : Source.t list) =
                  scope_refs)
           then
             add ~file:reg.rfile ~line:e.eline ~col:e.ecol
-              "label %s.%s (%S) is never used in lib/core, lib/lockfree or \
-               lib/mem"
+              "label %s.%s (%S) is never used in lib/core, lib/lockfree, \
+               lib/mem or lib/pages"
               reg.rmodule e.ename e.evalue)
         reg.entries;
       if not reg.has_all then

@@ -2,6 +2,7 @@ type section =
   | Core
   | Lockfree
   | Mem
+  | Pages
   | Runtime
   | Baselines
   | Lib_other
@@ -27,6 +28,7 @@ let section_name = function
   | Core -> "core"
   | Lockfree -> "lockfree"
   | Mem -> "mem"
+  | Pages -> "pages"
   | Runtime -> "runtime"
   | Baselines -> "baselines"
   | Lib_other -> "lib"
@@ -44,6 +46,7 @@ let section_of_path path =
         | "core" -> Some Core
         | "lockfree" -> Some Lockfree
         | "mem" -> Some Mem
+        | "pages" -> Some Pages
         | "runtime" -> Some Runtime
         | "baselines" -> Some Baselines
         | _ -> Some Lib_other)
@@ -54,7 +57,9 @@ let section_of_path path =
   | Some s -> s
   | None -> if List.mem "bin" segs then Binx else Other
 
-let in_lockfree_scope = function Core | Lockfree | Mem -> true | _ -> false
+let in_lockfree_scope = function
+  | Core | Lockfree | Mem | Pages -> true
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments: (* mm-lint: allow <rule> *) or

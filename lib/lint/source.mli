@@ -5,6 +5,7 @@ type section =
   | Core  (** lib/core *)
   | Lockfree  (** lib/lockfree *)
   | Mem  (** lib/mem *)
+  | Pages  (** lib/pages — the span reservoir + buddy page manager *)
   | Runtime  (** lib/runtime — may use raw multicore primitives *)
   | Baselines  (** lib/baselines — lock-based, may use raw primitives *)
   | Lib_other  (** other lib/ subsystems (check, harness, workloads, lint) *)
@@ -32,7 +33,7 @@ val section_name : section -> string
 
 val in_lockfree_scope : section -> bool
 (** The sections whose code carries the paper's progress argument
-    (lib/core, lib/lockfree, lib/mem). *)
+    (lib/core, lib/lockfree, lib/mem, lib/pages). *)
 
 val parse : path:string -> string -> (t, string) result
 val load : root:string -> path:string -> (t, string) result

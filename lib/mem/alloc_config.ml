@@ -18,6 +18,8 @@ type t = {
   cache_blocks : int;
   cache_batch : int;
   sb_cache_depth : int;
+  page_manager : bool;
+  span_pages : int;
 }
 
 let default =
@@ -37,6 +39,8 @@ let default =
     cache_blocks = 64;
     cache_batch = 16;
     sb_cache_depth = 0;
+    page_manager = false;
+    span_pages = 64;
   }
 
 let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
@@ -49,7 +53,9 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     ?(desc_scan_threshold = default.desc_scan_threshold)
     ?(cache = default.cache) ?(cache_blocks = default.cache_blocks)
     ?(cache_batch = default.cache_batch)
-    ?(sb_cache_depth = default.sb_cache_depth) () =
+    ?(sb_cache_depth = default.sb_cache_depth)
+    ?(page_manager = default.page_manager) ?(span_pages = default.span_pages)
+    () =
   if nheaps < 0 then invalid_arg "Alloc_config: nheaps must be >= 0";
   if maxcredits < 1 || maxcredits > 64 then
     invalid_arg "Alloc_config: maxcredits must be in [1, 64]";
@@ -62,6 +68,8 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     invalid_arg "Alloc_config: cache_batch must be in [1, cache_blocks]";
   if sb_cache_depth < 0 then
     invalid_arg "Alloc_config: sb_cache_depth must be >= 0";
+  if span_pages < 1 || span_pages land (span_pages - 1) <> 0 then
+    invalid_arg "Alloc_config: span_pages must be a positive power of two";
   {
     nheaps;
     sbsize;
@@ -78,6 +86,8 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     cache_blocks;
     cache_batch;
     sb_cache_depth;
+    page_manager;
+    span_pages;
   }
 
 let effective_nheaps t rt =

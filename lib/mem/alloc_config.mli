@@ -65,6 +65,15 @@ type t = {
           list and anchor tag preserved — for adoption by
           [MallocFromNewSB]; overflow beyond the watermark is genuinely
           unmapped, so {!Space} peak accounting stays honest. *)
+  page_manager : bool;
+      (** route large blocks and superblock carving through the
+          [lib/pages] span reservoir + lock-free buddy (DESIGN.md §15)
+          instead of one mmap/munmap per large block or superblock.
+          [false] (the default) preserves the paper-verbatim OS paths
+          bit for bit. *)
+  span_pages : int;
+      (** pages per reserved span when [page_manager] is on (positive
+          power of two; default 64 = 256 KiB spans). *)
 }
 
 val default : t
@@ -85,6 +94,8 @@ val make :
   ?cache_blocks:int ->
   ?cache_batch:int ->
   ?sb_cache_depth:int ->
+  ?page_manager:bool ->
+  ?span_pages:int ->
   unit ->
   t
 (** [default] with overrides; validates ranges. *)

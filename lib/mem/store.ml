@@ -13,6 +13,10 @@ type os_stats = {
   sb_allocs : int;
   sb_frees : int;
   sb_reuses : int;
+  large_mmaps : int;
+  large_munmaps : int;
+  pages_requested : int;
+  pages_granted : int;
 }
 
 type t = {
@@ -31,6 +35,10 @@ type t = {
   sb_allocs : int Rt.atomic;
   sb_frees : int Rt.atomic;
   sb_reuses : int Rt.atomic;
+  large_mmaps : int Rt.atomic;
+  large_munmaps : int Rt.atomic;
+  pages_requested : int Rt.atomic;
+  pages_granted : int Rt.atomic;
 }
 
 let create rt ?(capacity = 65536) ?(sbsize = 16 * 1024) ?(hyperblocks = false)
@@ -52,6 +60,10 @@ let create rt ?(capacity = 65536) ?(sbsize = 16 * 1024) ?(hyperblocks = false)
     sb_allocs = Rt.Atomic.make rt 0;
     sb_frees = Rt.Atomic.make rt 0;
     sb_reuses = Rt.Atomic.make rt 0;
+    large_mmaps = Rt.Atomic.make rt 0;
+    large_munmaps = Rt.Atomic.make rt 0;
+    pages_requested = Rt.Atomic.make rt 0;
+    pages_granted = Rt.Atomic.make rt 0;
   }
 
 let rt t = t.rt
@@ -65,6 +77,10 @@ let os_stats t =
     sb_allocs = Rt.Atomic.get t.sb_allocs;
     sb_frees = Rt.Atomic.get t.sb_frees;
     sb_reuses = Rt.Atomic.get t.sb_reuses;
+    large_mmaps = Rt.Atomic.get t.large_mmaps;
+    large_munmaps = Rt.Atomic.get t.large_munmaps;
+    pages_requested = Rt.Atomic.get t.pages_requested;
+    pages_granted = Rt.Atomic.get t.pages_granted;
   }
 
 let fresh_id t =
@@ -83,16 +99,20 @@ let round_pages n = (n + page - 1) / page * page
 
 (* One simulated mmap of [len] bytes; [slices] regions are carved out of
    it (1 for large blocks / plain superblocks, [sbs_per_hyper] for
-   hyperblocks). Returns the ids in order. *)
-let mmap t ~len ~slices ~slice_len =
+   hyperblocks). Returns the ids in order. [site] distinguishes
+   superblock, large-block and span traffic in the observability
+   stream; [clean:false] marks a region whose extents may be written
+   and re-carved out of order (spans), so lazy re-zeroing never trusts
+   the fresh-mapping flag. *)
+let mmap t ~len ~slices ~slice_len ~site ?(clean = true) () =
   Rt.syscall t.rt;
   Rt.Atomic.incr t.mmap_calls;
-  Rt.obs_event t.rt Rt.Obs.Mmap "store.mmap";
+  Rt.obs_event t.rt Rt.Obs.Mmap site;
   Space.add_mapped t.space (round_pages len);
   let bytes = Bytes.make len '\000' in
   List.init slices (fun i ->
       let id = fresh_id t in
-      install t id { bytes; base = i * slice_len; len = slice_len; clean = true };
+      install t id { bytes; base = i * slice_len; len = slice_len; clean };
       id)
 
 let alloc_superblock t =
@@ -112,7 +132,7 @@ let alloc_superblock t =
         let ids =
           mmap t
             ~len:(t.sbsize * t.sbs_per_hyper)
-            ~slices:t.sbs_per_hyper ~slice_len:t.sbsize
+            ~slices:t.sbs_per_hyper ~slice_len:t.sbsize ~site:"store.mmap" ()
         in
         match ids with
         | first :: rest ->
@@ -121,7 +141,10 @@ let alloc_superblock t =
         | [] -> assert false
       end
       else
-        let ids = mmap t ~len:t.sbsize ~slices:1 ~slice_len:t.sbsize in
+        let ids =
+          mmap t ~len:t.sbsize ~slices:1 ~slice_len:t.sbsize
+            ~site:"store.mmap" ()
+        in
         Addr.make ~region:(List.hd ids) ~offset:0
 
 let free_superblock t addr =
@@ -140,21 +163,46 @@ let free_superblock t addr =
 
 let alloc_large t ~len =
   if len <= 0 then invalid_arg "Store.alloc_large: len must be positive";
-  let ids = mmap t ~len ~slices:1 ~slice_len:len in
+  Rt.Atomic.incr t.large_mmaps;
+  let ids = mmap t ~len ~slices:1 ~slice_len:len ~site:"store.mmap.large" () in
   Addr.make ~region:(List.hd ids) ~offset:0
 
-let free_large t addr =
+(* Unmap a whole region (large block or losing span candidate). *)
+let unmap_region t addr ~what =
   if Addr.offset addr <> 0 then
-    invalid_arg "Store.free_large: not a region base";
+    invalid_arg (Printf.sprintf "Store.%s: not a region base" what);
   let id = Addr.region addr in
   match Rt.Atomic.get t.regions.(id) with
-  | None -> invalid_arg "Store.free_large: dead region"
+  | None -> invalid_arg (Printf.sprintf "Store.%s: dead region" what)
   | Some r ->
       Rt.syscall t.rt;
       Rt.Atomic.incr t.munmap_calls;
       Space.add_mapped t.space (-round_pages r.len);
       Rt.Atomic.set t.regions.(id) None;
       Ts.push t.free_ids id
+
+let free_large t addr =
+  Rt.Atomic.incr t.large_munmaps;
+  unmap_region t addr ~what:"free_large"
+
+(* Spans (lib/pages): one page-multiple mapping per span, carved into
+   extents by the buddy. Installed dirty ([clean:false]) because large
+   payloads are written into carved extents and later re-carved into
+   superblocks, which must then lazily re-zero. *)
+let alloc_span t ~pages =
+  if pages < 1 then invalid_arg "Store.alloc_span: pages must be positive";
+  let len = pages * page in
+  let ids =
+    mmap t ~len ~slices:1 ~slice_len:len ~site:"store.mmap.span" ~clean:false
+      ()
+  in
+  Addr.make ~region:(List.hd ids) ~offset:0
+
+let free_span t addr = unmap_region t addr ~what:"free_span"
+
+let note_buddy_grant t ~requested ~granted =
+  ignore (Rt.Atomic.fetch_and_add t.pages_requested requested);
+  ignore (Rt.Atomic.fetch_and_add t.pages_granted granted)
 
 let region_of t addr =
   let id = Addr.region addr in
@@ -201,13 +249,18 @@ let write_word ?(racy = false) t addr v =
         oob_check t addr off r.len ~racy ~what:"write_word"
       else Rt.write_word t.rt r.bytes (r.base + off) ~line:(Addr.line addr) v
 
-let init_free_list t addr ~sz ~maxcount =
+let init_free_list ?limit t addr ~sz ~maxcount =
   match region_of t addr with
   | None -> invalid_arg "Store.init_free_list: dead region"
   | Some r ->
       let off = Addr.offset addr in
       if off + (sz * maxcount) > r.len then
         invalid_arg "Store.init_free_list: out of bounds";
+      (* [limit] confines the lazy re-zeroing to the superblock's own
+         extent — a superblock carved out of a span must not touch its
+         neighbours' bytes. Without it the whole region is restored
+         (whole-region superblocks, where the two are the same thing). *)
+      let hi = match limit with None -> r.len | Some l -> min r.len (off + l) in
       if not r.clean then begin
         (* Recycled bytes: restore the zero state lazily, skipping the
            link words rewritten just below. One pass over the block
@@ -216,9 +269,9 @@ let init_free_list t addr ~sz ~maxcount =
           Bytes.fill r.bytes (r.base + off + (i * sz) + 8) (sz - 8) '\000'
         done;
         let covered = off + (sz * maxcount) in
-        if covered < r.len then
-          Bytes.fill r.bytes (r.base + covered) (r.len - covered) '\000';
-        if off > 0 then Bytes.fill r.bytes r.base off '\000'
+        if covered < hi then
+          Bytes.fill r.bytes (r.base + covered) (hi - covered) '\000';
+        if limit = None && off > 0 then Bytes.fill r.bytes r.base off '\000'
       end;
       r.clean <- false;
       for i = 0 to maxcount - 1 do

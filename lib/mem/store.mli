@@ -37,6 +37,14 @@ type os_stats = {
           (stale bytes are cleared lazily by {!init_free_list}). Always
           [sb_reuses <= sb_allocs]; [sb_allocs - sb_reuses] superblocks
           came from real (possibly hyperblock-batched) mmaps. *)
+  large_mmaps : int;  (** direct large-block mappings ({!alloc_large}) *)
+  large_munmaps : int;  (** direct large-block unmappings ({!free_large}) *)
+  pages_requested : int;
+      (** pages actually needed by buddy-served requests (page-rounded
+          request sizes), accumulated via {!note_buddy_grant} *)
+  pages_granted : int;
+      (** pages granted for them (power-of-two buddy extents); the gap to
+          [pages_requested] is the buddy's internal fragmentation *)
 }
 
 val create :
@@ -52,6 +60,10 @@ val rt : t -> Mm_runtime.Rt.t
 val sbsize : t -> int
 val space : t -> Space.t
 val os_stats : t -> os_stats
+
+val page : int
+(** The simulated OS page size (4 KiB) — the unit the page manager's
+    buddy allocator works in and the granularity of space accounting. *)
 
 (** {2 Regions} *)
 
@@ -71,6 +83,29 @@ val alloc_large : t -> len:int -> int
 
 val free_large : t -> int -> unit
 (** [addr] must be the base address of a live large region. *)
+
+(** {2 Spans}
+
+    Backing for the page manager (DESIGN.md §15): a span is one
+    page-multiple region reserved up front and carved into page-aligned
+    extents by a lock-free buddy, so large blocks and superblocks stop
+    costing one mmap each. Span regions are installed {e dirty}
+    ([clean = false]): extents are written and re-carved out of order,
+    so a superblock carved from a span always pays {!init_free_list}'s
+    lazy re-zeroing of its own bytes (bounded by [?limit]). *)
+
+val alloc_span : t -> pages:int -> int
+(** A dedicated region of exactly [pages] simulated pages (one mmap,
+    observability site ["store.mmap.span"]). *)
+
+val free_span : t -> int -> unit
+(** Unmap a span region ([addr] must be its base) — only ever a losing
+    candidate from a span-publish race; published spans stay mapped. *)
+
+val note_buddy_grant : t -> requested:int -> granted:int -> unit
+(** Record one buddy grant in the internal-fragmentation census:
+    [requested] pages were needed, [granted] (>= requested, a power of
+    two) were handed out. *)
 
 val region_len : t -> int -> int
 (** Length of the region containing [addr]; 0 if dead. *)
@@ -94,13 +129,17 @@ val live_regions : t -> int
 val read_word : ?racy:bool -> t -> int -> int
 val write_word : ?racy:bool -> t -> int -> int -> unit
 
-val init_free_list : t -> int -> sz:int -> maxcount:int -> unit
+val init_free_list : ?limit:int -> t -> int -> sz:int -> maxcount:int -> unit
 (** Thread the in-block free list of a fresh superblock: block [i]'s first
     word is set to [i + 1] ("organize blocks in a linked list starting
     with index 0", Fig. 4). Charged as one streaming write, since the
     superblock is still private to its creator. On a recycled superblock
     this also clears every byte the links don't cover (lazy zeroing —
-    the only full-superblock fill a pool hit ever pays). *)
+    the only full-superblock fill a pool hit ever pays). [limit] bounds
+    the zeroed window to [limit] bytes from the superblock's base: a
+    superblock carved out of a span owns only its own extent and must
+    not clear its neighbours' bytes. Without [limit] the whole region is
+    restored (whole-region superblocks, where the two coincide). *)
 
 val write_payload_round : t -> int -> len:int -> times:int -> unit
 (** Model the benchmark pattern "write [times] times to each of the [len]

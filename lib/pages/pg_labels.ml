@@ -1,0 +1,12 @@
+let buddy_acquire = "buddy.acquire"
+let buddy_release = "buddy.release"
+let buddy_coalesce = "buddy.coalesce"
+let span_reserve = "span.reserve"
+
+let all =
+  [
+    buddy_acquire;
+    buddy_release;
+    buddy_coalesce;
+    span_reserve;
+  ]

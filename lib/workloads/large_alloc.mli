@@ -1,0 +1,22 @@
+(** A mixed-size churn workload straddling the large-allocation
+    threshold (shbench-style slot churn, biased toward blocks the
+    superblock machinery refuses). The paper's six benchmarks never
+    leave the size-class range, so the one-mmap-per-large-block OS
+    traffic of Fig. 4 lines 2-3 goes unmeasured by them; this workload
+    makes it the dominant cost, which is what the page-manager ablation
+    (DESIGN.md §15) and the CI large-mmap gate measure. *)
+
+type params = {
+  slots : int;  (** live blocks per thread *)
+  rounds : int;  (** operations per thread *)
+  small_size : int;  (** small requests are drawn from [8, small_size] *)
+  max_size : int;  (** large requests from (threshold, max_size] *)
+  large_frac : int;  (** percentage of mallocs that go large, [0, 100] *)
+  seed : int;
+}
+
+val default : params
+val quick : params
+
+val run :
+  Mm_mem.Alloc_intf.instance -> threads:int -> params -> Metrics.t

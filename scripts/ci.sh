@@ -28,6 +28,14 @@ MM_BENCH_JSON=_build/ci/bench-report.json dune exec bench/main.exe || true
 # path regressed). Exit code 2 fails the gate.
 dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
   --sb-cache 8 --max-mmap-per-1k 2.0 > /dev/null
+# Large-path OS-traffic gate (DESIGN.md §15): the 8-thread large-alloc
+# churn with the page manager on must keep large-path mmap calls (site
+# store.mmap.large) under 5 per 1k allocator ops (measured 0.00/1k at
+# the commit that introduced the page manager vs 250.75/1k without it,
+# so any rate above 5 means large blocks stopped routing through the
+# span reservoir). Exit code 2 fails the gate.
+dune exec bin/trace.exe -- report large-alloc --threads 8 \
+  --page-manager --max-large-mmap-per-1k 5.0 > /dev/null
 dune build @lint
 dune runtest
 # Executable docs: run every fenced `dune exec` command in README.md,

@@ -1,0 +1,20 @@
+(* Fixture: R1 unlabelled-cas-window in the pages section. The first
+   acquire's read->CAS retry window carries no Rt.label, so the
+   schedule explorer cannot interpose in a buddy claim; the labelled
+   variants below keep the Pg_labels fixture registry used, so exactly
+   one finding fires. Never compiled — parsed only by mm-lint's
+   tests. *)
+
+let acquire_unlabelled node =
+  let cur = Rt.Atomic.get node in
+  Rt.Atomic.compare_and_set node cur 2
+
+let acquire node rt =
+  let cur = Rt.Atomic.get node in
+  Rt.label rt Pg_labels.fx_buddy_acq;
+  Rt.Atomic.compare_and_set node cur 2
+
+let release node rt =
+  let cur = Rt.Atomic.get node in
+  Rt.label rt Pg_labels.fx_buddy_rel;
+  ignore (Rt.Atomic.compare_and_set node cur 0)

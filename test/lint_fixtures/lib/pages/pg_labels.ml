@@ -1,0 +1,8 @@
+(* Fixture registry for the pages section: clean on purpose — its
+   entries are used by bad_buddy_cas.ml, so only that file's planted R1
+   finding fires and the registry itself stays clean. Never compiled —
+   parsed only by mm-lint's tests. *)
+
+let fx_buddy_acq = "fx_buddy_acq"
+let fx_buddy_rel = "fx_buddy_rel"
+let all = [ fx_buddy_acq; fx_buddy_rel ]

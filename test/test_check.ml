@@ -153,7 +153,7 @@ let building_blocks_clean () =
    side of the same contract, against what `check list` enumerates. *)
 let registries_match_targets () =
   let registered =
-    Mm_core.Labels.all @ Mm_lockfree.Lf_labels.all
+    Mm_core.Labels.all @ Mm_lockfree.Lf_labels.all @ Mm_pages.Pg_labels.all
   in
   let sorted = List.sort_uniq compare registered in
   Alcotest.(check int) "no duplicate registry entries"

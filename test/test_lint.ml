@@ -48,6 +48,8 @@ let fixtures_flagged () =
   Alcotest.(check (list (pair string string))) "no errors" [] r.D.errors;
   Alcotest.(check int) "R1 fixture" 1
     (count R.Unlabelled_cas_window "lib/core/bad_cas_window.ml" r);
+  Alcotest.(check int) "R1 fixture (pages)" 1
+    (count R.Unlabelled_cas_window "lib/pages/bad_buddy_cas.ml" r);
   Alcotest.(check int) "R2 fixture" 5
     (count R.Raw_primitive "lib/core/bad_raw_mutex.ml" r);
   Alcotest.(check int) "R3 fixture" 2
@@ -66,7 +68,7 @@ let fixtures_flagged () =
           Alcotest.(check int) ("clean " ^ file) 0 (count rule file r))
         R.all)
     [ "lib/core/good_labelled.ml"; "lib/lockfree/good_ring.ml";
-      "lib/lockfree/lf_labels.ml" ];
+      "lib/lockfree/lf_labels.ml"; "lib/pages/pg_labels.ml" ];
   (* the fixture suppression moved its finding to the suppressed list *)
   Alcotest.(check int) "suppressed count" 1 (List.length r.D.suppressed);
   match r.D.suppressed with
@@ -122,7 +124,9 @@ let real_tree_clean () =
    asserts the undetected set is exactly that one line. *)
 let label_deletion_detected () =
   let root = tree_root () in
-  let files = D.collect ~root [ "lib/core"; "lib/lockfree"; "lib/mem" ] in
+  let files =
+    D.collect ~root [ "lib/core"; "lib/lockfree"; "lib/mem"; "lib/pages" ]
+  in
   let sources, errs = D.load ~root files in
   Alcotest.(check (list (pair string string))) "sources load" [] errs;
   let deletions = ref 0 and undetected = ref [] in
