@@ -83,7 +83,10 @@ let run root paths format rules =
       let r =
         if rules = [] then r
         else
-          let keep f = List.mem f.Mm_lint.Finding.rule rules in
+          let names = List.map R.name rules in
+          let keep (f : Mm_lint.Finding.t) =
+            List.mem f.Mm_report.Finding.rule names
+          in
           {
             r with
             D.findings = List.filter keep r.D.findings;

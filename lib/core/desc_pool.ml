@@ -148,6 +148,8 @@ let flush t =
    (tests and stats probes call it with no concurrent pool traffic), so
    walking the freelist without hazard protection cannot race a reuse;
    protecting every hop would serialize the walk for no safety gain. *)
+(* mm-sa: allow hp-protocol: same quiescent-only diagnostic walk; the
+   unprotected next_d hops are exactly the hp-protect exemption above. *)
 let available t =
   match t.variant with
   | Hazard_v p ->

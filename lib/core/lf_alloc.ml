@@ -401,6 +401,12 @@ let rec malloc_from_partial t heap =
   | None -> None
   | Some desc -> (
       Rt.label t.rt Labels.mp_got_partial;
+      (* mm-sa: allow write-before-publish: the reserve CAS below only
+         moves anchor credits; it publishes no block memory. heap_gid is
+         read by remote frees that synchronize through this descriptor's
+         anchor anyway, and the CAS itself orders the store. Explicit
+         fences are reserved for link words that remote pops read with
+         racy loads (flush_group, hazard_refill). *)
       desc.Descriptor.heap_gid <- heap.gid;
       (* line 3 *)
       (* Reserve blocks (lines 4-10). *)

@@ -950,6 +950,10 @@ let kill mode seed =
       Sim.create ~cpus ~seed ~max_cycles:80_000_000 ~on_label ()
     in
     let rt = Rt.simulated sim in
+    (* Kill injection is a controlled-schedule facility: only runtimes
+       that advertise the capability may run this experiment. *)
+    if not (Rt.controllable rt) then "SKIPPED: runtime not controllable"
+    else
     (* One shared heap: every thread depends on the same structures, so a
        dead lock holder blocks all lock-based survivors. *)
     let inst = Allocators.make name rt (Cfg.make ~nheaps:1 ()) in

@@ -1,4 +1,5 @@
-type result = {
+type result = Mm_report.Output.result = {
+  tool : string;
   findings : Finding.t list;
   suppressed : Finding.t list;
   errors : (string * string) list;
@@ -37,37 +38,20 @@ let load ~root paths =
   (List.rev !sources, List.rev !errors)
 
 (* ------------------------------------------------------------------ *)
-(* Suppressions. A comment [(* mm-lint: allow <rule> *)] covers findings
-   of that rule from the comment's line to the end of the enclosing
-   top-level item; a comment between items covers the following item.
-   This keeps a suppression adjacent to the code it excuses — it can
-   never silence a whole file. *)
-
-let suppression_range (spans : (int * int) list) line =
-  match List.find_opt (fun (s, e) -> s <= line && line <= e) spans with
-  | Some (_, e) -> Some (line, e)
-  | None -> (
-      match List.find_opt (fun (s, _) -> s > line) spans with
-      | Some (s, e) -> Some (s, e)
-      | None -> None)
+(* Suppression coverage is the shared policy in Mm_report.Suppress:
+   a comment covers its rule to the end of the enclosing top-level item
+   (or the next item when it sits between items) — never a whole file. *)
 
 let split_suppressed (src : Source.t) findings =
-  let spans =
+  let item_spans =
     List.map
       (fun (it : Scan.item) -> (it.Scan.start_line, it.Scan.end_line))
       (Scan.items src.Source.structure)
   in
-  let covered (f : Finding.t) =
-    List.exists
-      (fun (s : Source.suppression) ->
-        s.Source.sup_rule = f.Finding.rule
-        &&
-        match suppression_range spans s.Source.sup_line with
-        | Some (lo, hi) -> lo <= f.Finding.line && f.Finding.line <= hi
-        | None -> false)
-      src.Source.suppressions
-  in
-  List.partition (fun f -> not (covered f)) findings
+  List.partition
+    (fun f ->
+      not (Mm_report.Suppress.covers ~item_spans src.Source.suppressions f))
+    findings
 
 (* ------------------------------------------------------------------ *)
 
@@ -77,7 +61,7 @@ let lint_sources (sources : Source.t list) =
     List.map (fun (s : Source.t) -> (s.Source.path, s)) sources
   in
   let route (f : Finding.t) =
-    match List.assoc_opt f.Finding.file by_path with
+    match List.assoc_opt f.Mm_report.Finding.file by_path with
     | None -> kept := f :: !kept
     | Some src ->
         let keep, drop = split_suppressed src [ f ] in
@@ -99,6 +83,7 @@ let lint_sources (sources : Source.t list) =
     sources;
   List.iter route (Registry.check sources);
   {
+    tool = "mm-lint";
     findings = List.sort_uniq Finding.compare !kept;
     suppressed = List.sort_uniq Finding.compare !dropped;
     errors = List.rev !errors;

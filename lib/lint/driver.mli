@@ -1,7 +1,8 @@
 (** Orchestration: discover files, parse, run every rule, apply
     in-source suppressions. *)
 
-type result = {
+type result = Mm_report.Output.result = {
+  tool : string;  (** "mm-lint" *)
   findings : Finding.t list;  (** live findings, sorted, deduplicated *)
   suppressed : Finding.t list;  (** silenced by mm-lint comments *)
   errors : (string * string) list;

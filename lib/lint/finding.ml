@@ -1,24 +1,10 @@
-type t = {
-  rule : Rule.t;
-  file : string;
-  line : int;
-  col : int;
-  message : string;
-}
+(* mm-lint findings are the shared Mm_report diagnostics; the rule is
+   stored by its registered name (one report schema across tools). *)
 
-let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+type t = Mm_report.Finding.t
 
-let compare a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c
-      else String.compare (Rule.name a.rule) (Rule.name b.rule)
+let v ~rule ~file ~line ~col message =
+  Mm_report.Finding.v ~rule:(Rule.name rule) ~file ~line ~col message
 
-let pp fmt t =
-  Format.fprintf fmt "%s:%d:%d: [%s] %s" t.file t.line t.col
-    (Rule.name t.rule) t.message
+let compare = Mm_report.Finding.compare
+let pp = Mm_report.Finding.pp

@@ -1,12 +1,7 @@
-(** A single lint diagnostic, anchored to a source position. *)
+(** A single lint diagnostic, anchored to a source position. The record
+    is {!Mm_report.Finding.t}; the rule field carries {!Rule.name}. *)
 
-type t = {
-  rule : Rule.t;
-  file : string;  (** root-relative path *)
-  line : int;  (** 1-based *)
-  col : int;  (** 0-based, compiler convention *)
-  message : string;
-}
+type t = Mm_report.Finding.t
 
 val v : rule:Rule.t -> file:string -> line:int -> col:int -> string -> t
 val compare : t -> t -> int

@@ -1,54 +1,6 @@
-let summary (r : Driver.result) =
-  Printf.sprintf "%d finding%s, %d suppressed, %d error%s, %d files scanned"
-    (List.length r.Driver.findings)
-    (if List.length r.Driver.findings = 1 then "" else "s")
-    (List.length r.Driver.suppressed)
-    (List.length r.Driver.errors)
-    (if List.length r.Driver.errors = 1 then "" else "s")
-    r.Driver.files
+(* Rendering is the shared Mm_report.Output schema; Driver.result is an
+   alias of Mm_report.Output.result with tool = "mm-lint". *)
 
-let text fmt (r : Driver.result) =
-  List.iter
-    (fun (path, msg) -> Format.fprintf fmt "%s: error: %s@." path msg)
-    r.Driver.errors;
-  List.iter (fun f -> Format.fprintf fmt "%a@." Finding.pp f) r.Driver.findings;
-  if r.Driver.findings = [] && r.Driver.errors = [] then
-    Format.fprintf fmt "mm-lint: clean (%s)@." (summary r)
-  else Format.fprintf fmt "mm-lint: %s@." (summary r)
-
-(* ------------------------------------------------------------------ *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let finding_json (f : Finding.t) =
-  Printf.sprintf
-    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
-    (Rule.name f.Finding.rule)
-    (json_escape f.Finding.file)
-    f.Finding.line f.Finding.col
-    (json_escape f.Finding.message)
-
-let json fmt (r : Driver.result) =
-  let list xs f = String.concat "," (List.map f xs) in
-  Format.fprintf fmt
-    {|{"version":1,"files_scanned":%d,"clean":%b,"findings":[%s],"suppressed":[%s],"errors":[%s]}@.|}
-    r.Driver.files
-    (r.Driver.findings = [] && r.Driver.errors = [])
-    (list r.Driver.findings finding_json)
-    (list r.Driver.suppressed finding_json)
-    (list r.Driver.errors (fun (path, msg) ->
-         Printf.sprintf {|{"file":"%s","message":"%s"}|} (json_escape path)
-           (json_escape msg)))
+let summary = Mm_report.Output.summary
+let text = Mm_report.Output.text
+let json = Mm_report.Output.json

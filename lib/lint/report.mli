@@ -1,5 +1,6 @@
 (** Rendering of lint results: compiler-style text diagnostics, and a
-    stable JSON document for CI artifacts. *)
+    stable JSON document for CI artifacts (the shared
+    {!Mm_report.Output} schema). *)
 
 val text : Format.formatter -> Driver.result -> unit
 val json : Format.formatter -> Driver.result -> unit

@@ -4,6 +4,7 @@ type t =
   | Blocking_in_lockfree
   | Hp_protect
   | Label_registry
+  | Sim_capability
 
 let all =
   [
@@ -12,6 +13,7 @@ let all =
     Blocking_in_lockfree;
     Hp_protect;
     Label_registry;
+    Sim_capability;
   ]
 
 let name = function
@@ -20,6 +22,7 @@ let name = function
   | Blocking_in_lockfree -> "blocking-in-lockfree"
   | Hp_protect -> "hp-protect"
   | Label_registry -> "label-registry"
+  | Sim_capability -> "sim-capability"
 
 let of_name s = List.find_opt (fun r -> name r = s) all
 
@@ -43,3 +46,9 @@ let describe = function
   | Label_registry ->
       "every Rt.label string comes from Labels.all / Lf_labels.all; \
        registry entries are unique, listed in [all], and used"
+  | Sim_capability ->
+      "simulator-only control facilities (controlled schedules, label \
+       interception, kill/stall exploration) may only be referenced \
+       outside lib/runtime and lib/check in items that consult the \
+       Rt.controllable capability flag, so every runtime backend keeps \
+       the same observable surface (ROADMAP item 4)"

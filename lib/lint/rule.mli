@@ -9,6 +9,7 @@ type t =
   | Blocking_in_lockfree  (** R3 *)
   | Hp_protect  (** R4 *)
   | Label_registry  (** R5 *)
+  | Sim_capability  (** R6 — the capability boundary of ROADMAP item 4 *)
 
 val all : t list
 val name : t -> string

@@ -164,6 +164,83 @@ let r5_literal (src : Source.t) (it : Scan.item) =
                     s)))
     it.apps
 
+(* R6: simulator-only control facilities — controlled schedules, label
+   interception, kill/stall injection — are capabilities of one runtime
+   backend, not of the Rt surface. Outside lib/runtime (which implements
+   them) and lib/check (the explorer/monitor, which exists to drive
+   them), a top-level item that touches any of them must also consult
+   the [Rt.controllable] capability flag, so the behaviour stays gated
+   on what the backend advertises (ROADMAP item 4). *)
+let sim_facilities =
+  [
+    "current";
+    "Kill";
+    "Block_until";
+    "Continue";
+    "action";
+    "sched_point";
+    "sp_runnable";
+    "sp_current";
+    "sp_label";
+  ]
+
+let is_sim_facility = function
+  | path -> (
+      match List.rev path with
+      | x :: "Sim" :: _ -> List.mem x sim_facilities
+      | _ -> false)
+
+let is_controlled_create (a : Scan.app) =
+  Scan.ends_with ~suffix:[ "Sim"; "create" ] a.fn
+  && List.exists
+       (fun ((l : Asttypes.arg_label), _) ->
+         match l with
+         | Asttypes.Labelled ("on_label" | "sched")
+         | Asttypes.Optional ("on_label" | "sched") ->
+             true
+         | _ -> false)
+       a.args
+
+let r6 (src : Source.t) (it : Scan.item) =
+  let consults_capability =
+    List.exists
+      (fun (r : Scan.reference) ->
+        Scan.ends_with ~suffix:[ "Rt"; "controllable" ] r.rpath)
+      it.refs
+  in
+  if consults_capability then []
+  else
+    let of_refs =
+      List.filter_map
+        (fun (r : Scan.reference) ->
+          if is_sim_facility r.rpath then
+            Some
+              (Finding.v ~rule:Rule.Sim_capability ~file:src.Source.path
+                 ~line:r.rline ~col:r.rcol
+                 (Printf.sprintf
+                    "simulator control facility %s outside lib/runtime and \
+                     lib/check without consulting Rt.controllable; gate \
+                     sim-only behaviour on the runtime capability flag"
+                    (path_str r.rpath)))
+          else None)
+        it.refs
+    in
+    let of_apps =
+      List.filter_map
+        (fun (a : Scan.app) ->
+          if is_controlled_create a then
+            Some
+              (Finding.v ~rule:Rule.Sim_capability ~file:src.Source.path
+                 ~line:a.aline ~col:a.acol
+                 "Sim.create with a control hook (~on_label / ~sched) \
+                  outside lib/runtime and lib/check without consulting \
+                  Rt.controllable; gate sim-only behaviour on the runtime \
+                  capability flag")
+          else None)
+        it.apps
+    in
+    of_refs @ of_apps
+
 let check_file (src : Source.t) =
   let items = Scan.items src.Source.structure in
   let section = src.Source.section in
@@ -171,6 +248,11 @@ let check_file (src : Source.t) =
   let raw_allowed =
     match section with
     | Source.Runtime | Source.Baselines -> true
+    | _ -> false
+  in
+  let sim_control_allowed =
+    match section with
+    | Source.Runtime | Source.Check -> true
     | _ -> false
   in
   List.concat_map
@@ -182,5 +264,6 @@ let check_file (src : Source.t) =
           (if lockfree then r3 src it else []);
           (if section = Source.Core then r4 src it else []);
           (if lockfree then r5_literal src it else []);
+          (if sim_control_allowed then [] else r6 src it);
         ])
     items

@@ -76,6 +76,7 @@ let collect_item (si : structure_item) =
           | _ ->
               (match e.pexp_desc with
               | Pexp_ident { txt; loc } -> add_ref Value txt loc
+              | Pexp_construct ({ txt; loc }, _) -> add_ref Value txt loc
               | Pexp_field (_, { txt; loc }) -> add_ref Field txt loc
               | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
                 ->

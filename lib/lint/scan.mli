@@ -4,7 +4,11 @@
     tree, because the disciplines they prove are about {e lexical
     windows} (read → label → CAS; protect → re-read → dereference). *)
 
-type kind = Value | Field | Type | Module
+type kind =
+  | Value  (** idents and (expression-position) constructors *)
+  | Field
+  | Type
+  | Module
 
 type reference = {
   rpath : string list;  (** flattened longident, e.g. ["Rt";"Atomic";"get"] *)

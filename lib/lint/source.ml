@@ -5,22 +5,17 @@ type section =
   | Pages
   | Runtime
   | Baselines
+  | Check
   | Lib_other
   | Binx
   | Other
-
-type suppression = {
-  sup_rule : Rule.t;
-  sup_line : int;
-  sup_reason : string option;
-}
 
 type t = {
   path : string;
   section : section;
   text : string;
   structure : Parsetree.structure;
-  suppressions : suppression list;
+  suppressions : Mm_report.Suppress.t list;
   bad_suppressions : (int * string) list;
 }
 
@@ -31,6 +26,7 @@ let section_name = function
   | Pages -> "pages"
   | Runtime -> "runtime"
   | Baselines -> "baselines"
+  | Check -> "check"
   | Lib_other -> "lib"
   | Binx -> "bin"
   | Other -> "other"
@@ -49,6 +45,7 @@ let section_of_path path =
         | "pages" -> Some Pages
         | "runtime" -> Some Runtime
         | "baselines" -> Some Baselines
+        | "check" -> Some Check
         | _ -> Some Lib_other)
     | _ :: rest -> after_lib rest
     | [] -> None
@@ -62,80 +59,13 @@ let in_lockfree_scope = function
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Suppression comments: (* mm-lint: allow <rule> *) or
-   (* mm-lint: allow <rule>: <reason> *). The scan is textual (comments
-   are not in the parsetree). A marker not followed by "allow" plus a
-   non-empty rule token is not a suppression attempt — that keeps prose
-   mentions of the syntax (docs, this linter's own sources) inert — but
-   a non-empty token naming no rule is an error, so typos cannot
-   silently fail to suppress. *)
-
-let is_token_char c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
-  || c = '-' || c = '_'
-
-let line_of_offset text off =
-  let n = ref 1 in
-  for i = 0 to off - 1 do
-    if text.[i] = '\n' then incr n
-  done;
-  !n
+(* Suppression comments, via the shared scanner (Mm_report.Suppress):
+   (* mm-lint: allow <rule> *) or (* mm-lint: allow <rule>: <reason> *). *)
 
 let scan_suppressions text =
-  let marker = "mm-lint:" in
-  let ok = ref [] and bad = ref [] in
-  let len = String.length text in
-  let rec find from =
-    match
-      if from >= len then None
-      else
-        let rec at i =
-          if i + String.length marker > len then None
-          else if String.sub text i (String.length marker) = marker then
-            Some i
-          else at (i + 1)
-        in
-        at from
-    with
-    | None -> ()
-    | Some i ->
-        let j = ref (i + String.length marker) in
-        while !j < len && (text.[!j] = ' ' || text.[!j] = '\t') do incr j done;
-        let line = line_of_offset text i in
-        (if !j + 5 <= len && String.sub text !j 5 = "allow" then begin
-           j := !j + 5;
-           while !j < len && (text.[!j] = ' ' || text.[!j] = '\t') do
-             incr j
-           done;
-           let start = !j in
-           while !j < len && is_token_char text.[!j] do incr j done;
-           let token = String.sub text start (!j - start) in
-           if token = "" then ()
-           else
-             match Rule.of_name token with
-             | Some r ->
-                 let reason =
-                   if !j < len && text.[!j] = ':' then
-                     let rs = !j + 1 in
-                     let re = ref rs in
-                     while
-                       !re + 1 < len
-                       && not (text.[!re] = '*' && text.[!re + 1] = ')')
-                     do
-                       incr re
-                     done;
-                     Some (String.trim (String.sub text rs (!re - rs)))
-                   else None
-                 in
-                 ok :=
-                   { sup_rule = r; sup_line = line; sup_reason = reason }
-                   :: !ok
-             | None -> bad := (line, token) :: !bad
-         end);
-        find !j
-  in
-  find 0;
-  (List.rev !ok, List.rev !bad)
+  Mm_report.Suppress.scan ~marker:"mm-lint:"
+    ~known:(fun token -> Rule.of_name token <> None)
+    text
 
 (* ------------------------------------------------------------------ *)
 

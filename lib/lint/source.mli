@@ -8,22 +8,17 @@ type section =
   | Pages  (** lib/pages — the span reservoir + buddy page manager *)
   | Runtime  (** lib/runtime — may use raw multicore primitives *)
   | Baselines  (** lib/baselines — lock-based, may use raw primitives *)
-  | Lib_other  (** other lib/ subsystems (check, harness, workloads, lint) *)
+  | Check  (** lib/check — invariant checkers, drives the simulator *)
+  | Lib_other  (** other lib/ subsystems (harness, workloads, lint, sa) *)
   | Binx  (** bin/ *)
   | Other
-
-type suppression = {
-  sup_rule : Rule.t;
-  sup_line : int;  (** line the comment starts on *)
-  sup_reason : string option;
-}
 
 type t = {
   path : string;
   section : section;
   text : string;
   structure : Parsetree.structure;
-  suppressions : suppression list;
+  suppressions : Mm_report.Suppress.t list;
   bad_suppressions : (int * string) list;
       (** mm-lint comments naming no known rule: (line, token) *)
 }

@@ -1,0 +1,26 @@
+(* A located diagnostic shared by every static-analysis tool in the
+   repository (mm-lint, mm-sa). The rule is carried as its registered
+   name so one report schema serves tools with different rule types. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp fmt t =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message

@@ -1,0 +1,14 @@
+(** A located diagnostic shared by every static-analysis tool in the
+    repository (mm-lint, mm-sa). *)
+
+type t = {
+  rule : string;  (** registered rule / analysis name *)
+  file : string;  (** root-relative source path *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+val v : rule:string -> file:string -> line:int -> col:int -> string -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(** One report schema for every static-analysis tool (mm-lint, mm-sa). *)
+
+type result = {
+  tool : string;  (** "mm-lint" / "mm-sa"; appears in text and JSON *)
+  findings : Finding.t list;
+  suppressed : Finding.t list;
+  errors : (string * string) list;  (** (path, message) *)
+  files : int;  (** files scanned *)
+}
+
+val summary : result -> string
+val text : Format.formatter -> result -> unit
+val json : Format.formatter -> result -> unit

@@ -4,6 +4,12 @@ let real = Real
 let simulated sim = Simulated sim
 let is_sim = function Real -> false | Simulated _ -> true
 let sim = function Real -> None | Simulated s -> Some s
+
+(* The capability flag of ROADMAP item 4: controlled schedules, label
+   interception and kill/stall exploration exist only on backends that
+   expose them. Callers outside lib/runtime and lib/check must consult
+   this flag before touching any Sim control facility (lint R6). *)
+let controllable = function Real -> false | Simulated _ -> true
 let name = function Real -> "real" | Simulated _ -> "sim"
 let max_threads = 64
 

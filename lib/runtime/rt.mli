@@ -27,6 +27,14 @@ val simulated : Sim.t -> t
 
 val is_sim : t -> bool
 val sim : t -> Sim.t option
+
+val controllable : t -> bool
+(** Whether this runtime exposes the simulator's control facilities
+    (deterministic schedules, label interception, kill/stall injection).
+    Code outside [lib/runtime] and [lib/check] may only reach those
+    facilities behind this flag (ROADMAP item 4, lint R6), so every
+    backend keeps the same observable surface. *)
+
 val name : t -> string
 
 val max_threads : int

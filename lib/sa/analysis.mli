@@ -1,0 +1,15 @@
+(** The mm-sa analysis set: flow-sensitive typestate automata over
+    per-function CFGs built from the compiler's typed ASTs (DESIGN.md
+    §16). Names are the tokens used by findings, the [--analysis] CLI
+    filter and in-source suppressions [(* mm-sa: allow <analysis> *)]. *)
+
+type t =
+  | Hp_protocol  (** S1 *)
+  | Cas_loop_progress  (** S2 *)
+  | Write_before_publish  (** S3 *)
+  | Label_dominance  (** S4 *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+val describe : t -> string

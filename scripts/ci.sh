@@ -1,8 +1,9 @@
 #!/bin/sh
-# Tier-1 gate: full build, static analysis (mm-lint), then the whole
-# test tree — the alcotest suites plus the check-quick schedule-
-# exploration gate and the @lint alias wired into `dune runtest` (see
-# bin/dune and the root dune file).
+# Tier-1 gate: full build, static analysis (mm-lint and the
+# flow-sensitive mm-sa), then the whole test tree — the alcotest
+# suites plus the check-quick schedule-exploration gate and the
+# @lint / @sa aliases wired into `dune runtest` (see bin/dune and the
+# root dune file).
 set -eu
 cd "$(dirname "$0")/.."
 dune build
@@ -11,6 +12,11 @@ dune build
 mkdir -p _build/ci
 dune exec bin/lint.exe -- --root . --format json lib bin \
   > _build/ci/lint-report.json || true
+# Machine-readable mm-sa report (DESIGN.md §16) over the typed ASTs;
+# @check guarantees the .cmt files exist.
+dune build @check
+dune exec bin/sa.exe -- --root . --format json \
+  > _build/ci/sa-report.json || true
 # Machine-readable contention census (DESIGN.md §12): the threadtest
 # failed-CAS report on the seeded simulator, archived so per-site retry
 # rates are diffable across commits.
@@ -37,6 +43,7 @@ dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
 dune exec bin/trace.exe -- report large-alloc --threads 8 \
   --page-manager --max-large-mmap-per-1k 5.0 > /dev/null
 dune build @lint
+dune build @sa
 dune runtest
 # Executable docs: run every fenced `dune exec` command in README.md,
 # EXPERIMENTS.md and DESIGN.md (scripts/doc_check.sh).

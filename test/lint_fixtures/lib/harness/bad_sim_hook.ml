@@ -1,0 +1,11 @@
+(* Fixture: R6 sim-capability. Reaching the simulator's control plane
+   (facility references, a hooked Sim.create) outside lib/runtime and
+   lib/check without consulting Rt.controllable. The gated item at the
+   bottom stays clean. Never compiled — parsed only by mm-lint's
+   tests. *)
+
+let kill_current sim = Sim.action sim Sim.Kill
+
+let hooked_sim () = Sim.create ~cpus:2 ~on_label:(fun _ -> ()) ()
+
+let gated rt sim = if Rt.controllable rt then Sim.action sim Sim.Kill else ()

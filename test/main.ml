@@ -26,5 +26,7 @@ let () =
       ("metrics", Test_metrics.cases);
       ("check", Test_check.cases);
       ("lint", Test_lint.cases);
+      ("sa-cfg", Test_sa_cfg.cases);
+      ("sa", Test_sa.cases);
       ("obs", Test_obs.cases);
     ]

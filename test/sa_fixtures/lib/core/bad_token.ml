@@ -1,0 +1,5 @@
+(* Fixture: a suppression naming no known analysis must surface as an
+   error, never silently fail to suppress. *)
+
+(* mm-sa: allow hp-protokol: typo *)
+let x = 1

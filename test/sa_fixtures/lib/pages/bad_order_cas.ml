@@ -1,0 +1,10 @@
+(* Fixture: S4 label-dominance in the pages section — a buddy-style
+   bitmap reservation retried with no label in the loop. *)
+
+open Mm_runtime
+
+let rec reserve rt (word : int Rt.atomic) bits =
+  let cur = Rt.Atomic.get word in
+  if cur land bits <> 0 then false
+  else if Rt.Atomic.compare_and_set word cur (cur lor bits) then true
+  else reserve rt word bits

@@ -8,7 +8,7 @@
    linted tree is exactly the one being compiled. *)
 
 module D = Mm_lint.Driver
-module F = Mm_lint.Finding
+module F = Mm_report.Finding
 module R = Mm_lint.Rule
 module Src = Mm_lint.Source
 open Util
@@ -39,7 +39,7 @@ let contains ~sub s =
 let count rule file r =
   List.length
     (List.filter
-       (fun f -> f.F.rule = rule && f.F.file = file)
+       (fun (f : F.t) -> f.F.rule = R.name rule && f.F.file = file)
        r.D.findings)
 
 let fixtures_flagged () =
@@ -60,6 +60,8 @@ let fixtures_flagged () =
     (count R.Label_registry "lib/core/bad_literal_label.ml" r);
   Alcotest.(check int) "R5 fixture: dup + orphan + unlisted" 3
     (count R.Label_registry "lib/core/labels.ml" r);
+  Alcotest.(check int) "R6 fixture: facilities + hooked create" 3
+    (count R.Sim_capability "lib/harness/bad_sim_hook.ml" r);
   (* the clean fixtures stay clean *)
   List.iter
     (fun file ->
@@ -76,7 +78,7 @@ let fixtures_flagged () =
       Alcotest.(check string) "suppressed file" "lib/core/good_labelled.ml"
         f.F.file;
       Alcotest.(check string) "suppressed rule" "unlabelled-cas-window"
-        (R.name f.F.rule)
+        f.F.rule
   | _ -> Alcotest.fail "expected exactly one suppressed finding"
 
 let unknown_suppression_rule_is_error () =
@@ -113,23 +115,48 @@ let real_tree_clean () =
       ("lib/obs/ring.ml", "raw-primitive");
     ]
     (List.sort compare
-       (List.map (fun f -> (f.F.file, R.name f.F.rule)) r.D.suppressed))
+       (List.map (fun (f : F.t) -> (f.F.file, f.F.rule)) r.D.suppressed))
 
-(* Deleting any Rt.label line must be caught — by R1 when the label
-   guards a CAS window, by R5's unused-entry check otherwise. Sole
-   known-undetectable site: the desc_alloc label of the pool's tagged
-   alloc variant — its item has no CAS of its own (the window lives
+(* Deleting any Rt.label line must be caught by lint ∪ sa: by R1 when
+   the label guards a syntactically visible CAS window, by R5's
+   unused-entry check otherwise — and, where the window lives behind a
+   parameterized call so no syntactic rule can see it, by mm-sa's
+   label-dominance analysis. The pool's tagged-variant desc_alloc
+   label is exactly that case (PR 2 documented it as the sole
+   undetectable site): its item has no CAS of its own (the window is
    inside Tis.pop) and the registry entry stays used by the hazard
-   variant, so neither R1 nor R5 can see that deletion. The test
-   asserts the undetected set is exactly that one line. *)
+   variant. mm-sa's interprocedural demand on Tis.pop now closes that
+   blind spot, so the undetected set must be empty — and the
+   lint-blind-but-sa-caught set must be exactly that one line, the
+   regression guard for the closure. *)
 let label_deletion_detected () =
   let root = tree_root () in
+  let sa_root = Test_sa.repo_root () in
   let files =
     D.collect ~root [ "lib/core"; "lib/lockfree"; "lib/mem"; "lib/pages" ]
   in
   let sources, errs = D.load ~root files in
   Alcotest.(check (list (pair string string))) "sources load" [] errs;
-  let deletions = ref 0 and undetected = ref [] in
+  (* .cmt loads are cached once; each sa probe re-typechecks only the
+     modified unit against the compiled interfaces *)
+  let sa_units, sa_errs =
+    Mm_sa.Driver.load ~root:sa_root
+      (Mm_sa.Driver.collect ~root:sa_root Mm_sa.Driver.default_paths)
+  in
+  Alcotest.(check (list (pair string string))) "units load" [] sa_errs;
+  let sa_detects path text' =
+    match Mm_sa.Tast.typecheck ~root:sa_root ~path text' with
+    | Error e -> Alcotest.failf "%s no longer typechecks: %s" path e
+    | Ok u' ->
+        let units =
+          List.map
+            (fun (u : Mm_sa.Tast.unit_t) ->
+              if u.Mm_sa.Tast.u_path = path then u' else u)
+            sa_units
+        in
+        (Mm_sa.Driver.analyze_units units).Mm_sa.Driver.findings <> []
+  in
+  let deletions = ref 0 and undetected = ref [] and sa_only = ref [] in
   List.iter
     (fun (src : Src.t) ->
       let lines = String.split_on_char '\n' src.Src.text in
@@ -154,24 +181,28 @@ let label_deletion_detected () =
                 in
                 let r = D.lint_sources tree in
                 if r.D.findings = [] then
-                  undetected :=
-                    (src.Src.path, String.trim line) :: !undetected
+                  if sa_detects src.Src.path text' then
+                    sa_only := (src.Src.path, String.trim line) :: !sa_only
+                  else
+                    undetected :=
+                      (src.Src.path, String.trim line) :: !undetected
           end)
         lines)
     sources;
   (* the walk actually exercised the instrumentation points *)
   Alcotest.(check bool) "saw many label sites" true (!deletions > 20);
-  match !undetected with
+  Alcotest.(check (list (pair string string)))
+    "every label deletion is detected by lint or sa" []
+    (List.rev !undetected);
+  match !sa_only with
   | [ (file, line) ]
     when Filename.basename file = "desc_pool.ml"
          && contains ~sub:"Labels.desc_alloc" line ->
       ()
-  | [] ->
-      Alcotest.fail
-        "expected the tagged-variant desc_alloc deletion to be \
-         undetectable; the known blind spot moved"
   | l ->
-      Alcotest.failf "undetected label deletions: %s"
+      Alcotest.failf
+        "expected exactly the tagged-variant desc_alloc deletion to need \
+         mm-sa; got: %s"
         (String.concat "; "
            (List.map (fun (f, ln) -> f ^ ": " ^ ln) l))
 
