@@ -370,6 +370,35 @@ let quick_cmd =
       end;
       Printf.printf "buddy monitor: %d probes clean\n"
         (List.length m.M.entries);
+      (* 8. The reuse-in-place descriptor pool (DESIGN.md §17) under the
+         same exhaustive budget and kill/stall monitor: the spill/steal
+         hand-off (desc.spill, desc.steal) must keep reused slots
+         exclusively owned with monotonically increasing tags, and a
+         thread killed mid-hand-off must only leak its own chain. *)
+      let reuse = Option.get (T.find "desc_pool_reuse") in
+      let r = E.exhaustive reuse ~threads ~bound:3 ~budget:20_000 in
+      (match r.E.finding with
+      | Some f ->
+          fail "desc_pool_reuse violation: %s (%s)" f.E.error
+            (S.to_string f.E.minimized)
+      | None ->
+          Printf.printf "desc_pool_reuse exhaustive: clean (%d executions%s)\n"
+            r.E.executions
+            (if r.E.complete then ", complete" else ""));
+      let m = M.run reuse ~threads ~modes:[ M.Kill; M.Stall ] ~rounds:2 in
+      if not m.M.ok then begin
+        List.iter
+          (fun (e : M.entry) ->
+            match e.M.result with
+            | Error msg when e.M.fired ->
+                Printf.eprintf "monitor %s %s round %d: %s\n" e.M.label
+                  (M.mode_name e.M.mode) e.M.round msg
+            | _ -> ())
+          m.M.entries;
+        fail "reuse-pool lock-freedom monitor failed"
+      end;
+      Printf.printf "desc_pool_reuse monitor: %d probes clean\n"
+        (List.length m.M.entries);
       0
     with Exit -> 2
   in

@@ -55,8 +55,10 @@ let allocator_arg =
   Arg.(
     value & opt string "new"
     & info [ "allocator" ] ~docv:"A"
-        ~doc:"Allocator under trace (new, new-cached, hoard, ptmalloc, \
-              libc).")
+        ~doc:"Allocator under trace (new, new-reuse, new-cached, bw, \
+              hoard, ptmalloc, libc). new-reuse is the $(b,new) \
+              allocator over the reuse-in-place descriptor pool \
+              (DESIGN.md S17).")
 
 let sb_cache_arg =
   Arg.(
@@ -173,8 +175,17 @@ let report_cmd =
                 $(docv) (guards the page-manager large-block routing \
                 against regression).")
   in
+  let max_hp_scan =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-hp-scan" ] ~docv:"N"
+          ~doc:"CI gate: exit 2 when the run records more than $(docv) \
+                hazard-pointer scans (absolute count; the reuse-in-place \
+                descriptor pool, DESIGN.md S17, is gated at 0).")
+  in
   let run input workload threads seed cpus heaps capacity allocator sb_cache
-      page_manager format max_mmap max_large_mmap =
+      page_manager format max_mmap max_large_mmap max_hp_scan =
     match
       obtain input workload threads seed cpus heaps capacity allocator
         sb_cache page_manager
@@ -205,20 +216,33 @@ let report_cmd =
             0
           end
         in
+        let count_gate what limit n =
+          if n > limit then begin
+            Printf.eprintf "%s gate FAILED: %d > limit %d\n" what n limit;
+            2
+          end
+          else begin
+            Printf.printf "%s gate ok: %d <= %d\n" what n limit;
+            0
+          end
+        in
         match
           ( Option.map (fun l -> gate "mmap" l (H.trace_mmaps trace)) max_mmap,
             Option.map
               (fun l -> gate "large-mmap" l (H.trace_large_mmaps trace))
-              max_large_mmap )
+              max_large_mmap,
+            Option.map
+              (fun l -> count_gate "hp-scan" l (H.trace_hp_scans trace))
+              max_hp_scan )
         with
-        | (Some 2, _ | _, Some 2) -> 2
+        | Some 2, _, _ | _, Some 2, _ | _, _, Some 2 -> 2
         | _ -> 0)
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
       $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg
-      $ page_manager_arg $ format $ max_mmap $ max_large_mmap)
+      $ page_manager_arg $ format $ max_mmap $ max_large_mmap $ max_hp_scan)
 
 let export_cmd =
   let doc =

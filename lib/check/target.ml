@@ -348,6 +348,70 @@ let desc_pool =
     run = pool_run;
   }
 
+(* Reuse-in-place pool target (DESIGN.md §17): batch_size 1 means a
+   thread holding two descriptors spills on the second retire and
+   steals on the second alloc, so the explored schedule space contains
+   the shared-stack hand-off windows. Two oracles: exclusive ownership
+   (a reused slot is never handed to two threads at once) and per-slot
+   tag monotonicity — each life bumps the anchor tag once, the way
+   every anchor CAS does in the allocator, and a slot coming back off
+   the shared stack must never show an older tag than its last life. *)
+let pool_reuse_run ~threads ?on_label ?notify_done
+    ?(quiescent_checks = true) ~sched () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let rt = Rt.simulated s in
+  let table = Mm_core.Descriptor.create_table rt ~capacity:256 in
+  let pool =
+    Mm_core.Desc_pool.create rt table ~kind:Cfg.Reuse ~batch_size:1 ()
+  in
+  let own = Oracle.create_ownership () in
+  let last_tag = Hashtbl.create 16 in
+  let take tid =
+    let d = Mm_core.Desc_pool.alloc pool in
+    let id = d.Mm_core.Descriptor.id in
+    Oracle.acquire own ~tid id;
+    let a = Rt.Atomic.get d.Mm_core.Descriptor.anchor in
+    let tag = Mm_core.Anchor.tag a in
+    (match Hashtbl.find_opt last_tag id with
+    | Some prev when tag < prev ->
+        failwith
+          (Printf.sprintf
+             "descriptor %d resurfaced with tag %d after reaching %d" id
+             tag prev)
+    | _ -> ());
+    let a' = Mm_core.Anchor.incr_tag a in
+    Rt.Atomic.set d.Mm_core.Descriptor.anchor a';
+    Hashtbl.replace last_tag id (Mm_core.Anchor.tag a');
+    Rt.yield rt;
+    d
+  in
+  let put tid (d : Mm_core.Descriptor.t) =
+    Oracle.release own ~tid d.Mm_core.Descriptor.id;
+    Mm_core.Desc_pool.retire pool d
+  in
+  let body tid =
+    for _ = 1 to 2 do
+      let a = take tid in
+      let b = take tid in
+      put tid a;
+      (* the private LIFO (capacity 1) is full: this retire spills *)
+      put tid b
+    done
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks && Oracle.held_count own <> 0 then
+        failwith "descriptors still held at quiescence")
+
+let desc_pool_reuse =
+  {
+    name = "desc_pool_reuse";
+    doc = "reuse-in-place descriptor pool; exclusivity + tag monotonicity";
+    default_threads = 2;
+    labels = Labels.[ desc_retire; desc_spill; desc_steal ];
+    run = pool_reuse_run;
+  }
+
 (* Stack targets: the two freelist building blocks under the same
    ownership discipline as the descriptor pool — the stack is pre-seeded
    with one id per thread, and each thread repeatedly pops an id,
@@ -444,6 +508,6 @@ let tagged_id_stack =
 
 let all =
   [ lf_alloc; lf_alloc_notag; lf_alloc_cached; lf_alloc_sbcache; buddy;
-    ms_queue; desc_pool; treiber_stack; tagged_id_stack ]
+    ms_queue; desc_pool; desc_pool_reuse; treiber_stack; tagged_id_stack ]
 
 let find name = List.find_opt (fun t -> t.name = name) all

@@ -66,6 +66,13 @@ val buddy : t
 val ms_queue : t
 val desc_pool : t
 
+val desc_pool_reuse : t
+(** The reuse-in-place descriptor pool (DESIGN.md §17) with batch_size
+    1, so the shared-stack spill/steal hand-off windows ([desc.spill] /
+    [desc.steal]) are in the schedule space, under the
+    exclusive-ownership oracle plus a per-slot anchor-tag monotonicity
+    check across reuse lives. Expected clean. *)
+
 val treiber_stack : t
 (** Treiber stack as an id freelist: pre-seeded with one id per thread,
     each thread pops, briefly owns, and pushes back under the

@@ -8,7 +8,39 @@ type hazard_pool = {
   hp : Descriptor.t Hp.t;
 }
 
-type variant = Hazard_v of hazard_pool | Tagged_v of Tis.t
+(* "Reuse, don't Recycle" (Arbel-Raviv & Brown; DESIGN.md §17):
+   descriptors are immortal — once allocated, a slot is never discarded
+   and never passes through a reclamation scan. A retired descriptor
+   goes on the retiring thread's private LIFO (plain field writes, no
+   CAS, no label: the chain is single-owner); only when that LIFO holds
+   [batch_size] descriptors does one spill to the shared tagged stack.
+   Allocation drains the private LIFO first, then steals from the
+   shared stack (a tag-bumping pop, so the IBM tag discipline that
+   already guards every descriptor CAS covers the hand-off), and only
+   then creates a fresh batch. Nothing is ever freed, so there is no
+   retire list to scan — hp.scan disappears from the census — and the
+   over-allocation is bounded by threads x batch_size. *)
+type reuse_pool = {
+  local_head : int array;  (* per-thread LIFO head id; -1 = empty *)
+  local_len : int array;
+  (* Shared spill stack, inline over the descriptors' next_id links with
+     the same packed tag|id head word as Tagged_id_stack (24-bit ids,
+     tag-bumping pops). Inline rather than a Tagged_id_stack with label
+     parameters so the desc.spill / desc.steal labels sit adjacent to
+     their CAS (mm-lint R1 covers them); passing registry labels to
+     Tis.create here would discharge every Tis obligation in this module
+     at once (mm-sa's module-level S4 overrides) and hide the tagged
+     variant's desc.alloc window from the static nets. *)
+  spill_head : int Rt.atomic;
+  next_of : int -> int;  (* descriptor id -> its next_id link *)
+  on_spill_retry : unit -> unit;
+  on_steal_retry : unit -> unit;
+}
+
+type variant =
+  | Hazard_v of hazard_pool
+  | Tagged_v of Tis.t
+  | Reuse_v of reuse_pool
 
 type t = {
   rt : Rt.t;
@@ -21,6 +53,13 @@ type t = {
    tags: only pops can complete erroneously under ABA (paper [8]). This is
    the push CAS of Fig. 7's DescRetire, reached here via hazard-pointer
    reclamation. *)
+(* Spill-stack head word, shared layout with Tagged_id_stack:
+   (tag lsl 25) lor (id + 1); id + 1 = 0 encodes the empty stack. *)
+let spill_id_bits = 24
+let spill_pack ~tag ~id = (tag lsl (spill_id_bits + 1)) lor (id + 1)
+let spill_unpack_id w = (w land ((1 lsl (spill_id_bits + 1)) - 1)) - 1
+let spill_unpack_tag w = w lsr (spill_id_bits + 1)
+
 let rec raw_push rt head d =
   let old = Rt.Atomic.get head in
   d.Descriptor.next_d <- old;
@@ -28,7 +67,8 @@ let rec raw_push rt head d =
   Rt.label rt Labels.desc_push;
   if not (Rt.Atomic.compare_and_set head old (Some d)) then raw_push rt head d
 
-let create rt table ~kind ?(batch_size = 64) ?scan_threshold () =
+let create rt table ~kind ?(batch_size = 64) ?scan_threshold ?on_spill_retry
+    ?on_steal_retry () =
   if batch_size < 1 then invalid_arg "Desc_pool.create: batch_size";
   let variant =
     match kind with
@@ -45,6 +85,17 @@ let create rt table ~kind ?(batch_size = 64) ?scan_threshold () =
              ~set_next:(fun id n ->
                (Descriptor.get table id).Descriptor.next_id <- n)
              ())
+    | Mm_mem.Alloc_config.Reuse ->
+        let nop () = () in
+        Reuse_v
+          {
+            local_head = Array.make Rt.max_threads (-1);
+            local_len = Array.make Rt.max_threads 0;
+            spill_head = Rt.Atomic.make rt (spill_pack ~tag:0 ~id:(-1));
+            next_of = (fun id -> (Descriptor.get table id).Descriptor.next_id);
+            on_spill_retry = Option.value on_spill_retry ~default:nop;
+            on_steal_retry = Option.value on_steal_retry ~default:nop;
+          }
   in
   { rt; table; batch_size; variant }
 
@@ -117,6 +168,94 @@ let tagged_refill t stack =
       List.iter (fun d -> Tis.push stack d.Descriptor.id) rest;
       Some kept
 
+(* Single-owner push/pop on the calling thread's private LIFO — plain
+   field writes, no CAS window, no label. A thread killed mid-push leaks
+   at most its own chain (bounded by batch_size), which is the reuse
+   transformation's stated trade: no reclamation, bounded waste. *)
+let local_push r tid (d : Descriptor.t) =
+  d.Descriptor.next_id <- r.local_head.(tid);
+  r.local_head.(tid) <- d.Descriptor.id;
+  r.local_len.(tid) <- r.local_len.(tid) + 1
+
+let local_pop t r tid =
+  let h = r.local_head.(tid) in
+  if h < 0 then None
+  else begin
+    let d = Descriptor.get t.table h in
+    r.local_head.(tid) <- d.Descriptor.next_id;
+    r.local_len.(tid) <- r.local_len.(tid) - 1;
+    Some d
+  end
+
+(* Spill a full private LIFO's overflow to the shared stack. Pushes
+   reuse the old tag: only pops need to change it, because only a pop
+   can complete erroneously under ABA (same argument as the anchor's
+   tag field and Tagged_id_stack.push). *)
+let spill_push t r (d : Descriptor.t) =
+  let b = Backoff.create t.rt in
+  let rec go () =
+    let old = Rt.Atomic.get r.spill_head in
+    d.Descriptor.next_id <- spill_unpack_id old;
+    Rt.fence t.rt;
+    let desired =
+      spill_pack ~tag:(spill_unpack_tag old) ~id:d.Descriptor.id
+    in
+    Rt.label t.rt Labels.desc_spill;
+    if not (Rt.Atomic.compare_and_set r.spill_head old desired) then begin
+      r.on_spill_retry ();
+      Backoff.once b;
+      go ()
+    end
+  in
+  go ()
+
+(* Steal a spilled descriptor: a tag-bumping pop, so a head that was
+   popped and re-pushed between our read and our CAS cannot be confused
+   for the unchanged head. The next_id read needs no hazard protection —
+   descriptors are immortal under Reuse, so the slot is always readable,
+   and a stale link only makes the CAS fail on the bumped tag. *)
+let steal_pop t r =
+  let b = Backoff.create t.rt in
+  let rec go () =
+    let old = Rt.Atomic.get r.spill_head in
+    let id = spill_unpack_id old in
+    if id < 0 then None
+    else begin
+      let next = r.next_of id in
+      let desired = spill_pack ~tag:(spill_unpack_tag old + 1) ~id:next in
+      Rt.label t.rt Labels.desc_steal;
+      if Rt.Atomic.compare_and_set r.spill_head old desired then
+        Some (Descriptor.get t.table id)
+      else begin
+        r.on_steal_retry ();
+        Backoff.once b;
+        go ()
+      end
+    end
+  in
+  go ()
+
+(* Fresh descriptors go straight onto the private LIFO: they have never
+   been shared, so no other thread can be stocking the same list — the
+   Fig. 7 discard-the-batch race cannot arise and no descriptor is ever
+   returned to the table. *)
+let reuse_refill t r =
+  let tid = Rt.self t.rt in
+  match Descriptor.alloc_batch t.table t.batch_size with
+  | [] -> assert false
+  | kept :: rest ->
+      List.iter (fun d -> local_push r tid d) rest;
+      Some kept
+
+let reuse_alloc t r =
+  let tid = Rt.self t.rt in
+  match local_pop t r tid with
+  | Some _ as d -> d
+  | None -> (
+      match steal_pop t r with
+      | Some _ as d -> d
+      | None -> reuse_refill t r)
+
 let alloc t =
   let rec go () =
     let popped =
@@ -130,6 +269,7 @@ let alloc t =
           match Tis.pop stack with
           | Some id -> Some (Descriptor.get t.table id)
           | None -> tagged_refill t stack)
+      | Reuse_v r -> reuse_alloc t r
     in
     match popped with Some d -> d | None -> go ()
   in
@@ -140,9 +280,15 @@ let retire t d =
   match t.variant with
   | Hazard_v p -> Hp.retire p.hp d
   | Tagged_v stack -> Tis.push stack d.Descriptor.id
+  | Reuse_v r ->
+      let tid = Rt.self t.rt in
+      if r.local_len.(tid) < t.batch_size then local_push r tid d
+      else spill_push t r d
 
 let flush t =
-  match t.variant with Hazard_v p -> Hp.flush p.hp | Tagged_v _ -> ()
+  match t.variant with
+  | Hazard_v p -> Hp.flush p.hp
+  | Tagged_v _ | Reuse_v _ -> ()
 
 (* mm-lint: allow hp-protect: available is a quiescent-only diagnostic
    (tests and stats probes call it with no concurrent pool traffic), so
@@ -159,3 +305,9 @@ let available t =
       in
       len 0 (Rt.Atomic.get p.head) + Hp.retired_count p.hp
   | Tagged_v stack -> List.length (Tis.to_list stack)
+  | Reuse_v r ->
+      let rec shared acc id =
+        if id < 0 then acc else shared (acc + 1) (r.next_of id)
+      in
+      Array.fold_left ( + ) 0 r.local_len
+      + shared 0 (spill_unpack_id (Rt.Atomic.get r.spill_head))

@@ -18,6 +18,8 @@ let desc_alloc = "desc.alloc"
 let desc_refill = "desc.refill"
 let desc_retire = "desc.retire"
 let desc_push = "desc.push"
+let desc_spill = "desc.spill"
+let desc_steal = "desc.steal"
 let bc_reserve_cas = "bc.reserve_cas"
 let bc_pop_cas = "bc.pop_cas"
 let bc_flush_cas = "bc.flush_cas"
@@ -46,6 +48,8 @@ let all =
     desc_refill;
     desc_retire;
     desc_push;
+    desc_spill;
+    desc_steal;
     bc_reserve_cas;
     bc_pop_cas;
     bc_flush_cas;

@@ -83,6 +83,16 @@ val desc_push : string
     DescRetire; reached via hazard-pointer reclamation on the default
     pool). *)
 
+val desc_spill : string
+(** Reuse pool ({!Desc_pool} with [Alloc_config.Reuse], DESIGN.md §17):
+    before the tagged-stack CAS spilling a retired descriptor from an
+    overfull per-thread LIFO onto the shared stack. *)
+
+val desc_steal : string
+(** Reuse pool: before the tag-bumping tagged-stack CAS stealing a
+    descriptor from the shared spill stack when the per-thread LIFO is
+    empty. *)
+
 val bc_reserve_cas : string
 (** Block-cache refill: before the CAS reserving a {e batch} of credits
     on Active (the amortized Fig. 4 reservation; DESIGN.md §13). *)

@@ -45,12 +45,15 @@ type t = {
   retry_buddy_release : int array;
   retry_buddy_coalesce : int array;
   retry_span_reserve : int array;
+  retry_desc_spill : int array;
+  retry_desc_steal : int array;
 }
 
 let retry_sites =
   [ "active.reserve"; "anchor.pop"; "anchor.free"; "update_active";
     "partial.slot"; "sbc.park"; "sbc.adopt"; "buddy.acquire";
-    "buddy.release"; "buddy.coalesce"; "span.reserve" ]
+    "buddy.release"; "buddy.coalesce"; "span.reserve"; "desc.spill";
+    "desc.steal" ]
 
 let name = "new"
 
@@ -62,12 +65,16 @@ let create rt (cfg : Cfg.t) =
       ~hyperblocks:cfg.hyperblocks ()
   in
   let table = Descriptor.create_table rt ~capacity:(2 * cfg.store_capacity) in
+  let stripe arr () = arr.(Rt.self rt) <- arr.(Rt.self rt) + 1 in
+  let retry_desc_spill = Array.make Rt.max_threads 0 in
+  let retry_desc_steal = Array.make Rt.max_threads 0 in
   let pool =
     Desc_pool.create rt table ~kind:cfg.desc_pool
       ?scan_threshold:
         (if cfg.desc_scan_threshold > 0 then Some cfg.desc_scan_threshold
          else None)
-      ()
+      ~on_spill_retry:(stripe retry_desc_spill)
+      ~on_steal_retry:(stripe retry_desc_steal) ()
   in
   let nclasses = Sc.count classes in
   let heaps =
@@ -97,7 +104,6 @@ let create rt (cfg : Cfg.t) =
   let retry_buddy_release = Array.make Rt.max_threads 0 in
   let retry_buddy_coalesce = Array.make Rt.max_threads 0 in
   let retry_span_reserve = Array.make Rt.max_threads 0 in
-  let stripe arr () = arr.(Rt.self rt) <- arr.(Rt.self rt) + 1 in
   let pm =
     if cfg.page_manager then
       Some
@@ -133,6 +139,8 @@ let create rt (cfg : Cfg.t) =
     retry_buddy_release;
     retry_buddy_coalesce;
     retry_span_reserve;
+    retry_desc_spill;
+    retry_desc_steal;
   }
 
 let bump t arr = arr.(Rt.self t.rt) <- arr.(Rt.self t.rt) + 1
@@ -151,6 +159,8 @@ let retry_counts t =
     ("buddy.release", sum t.retry_buddy_release);
     ("buddy.coalesce", sum t.retry_buddy_coalesce);
     ("span.reserve", sum t.retry_span_reserve);
+    ("desc.spill", sum t.retry_desc_spill);
+    ("desc.steal", sum t.retry_desc_steal);
   ]
 
 let rt t = t.rt

@@ -1,10 +1,25 @@
 open Mm_mem.Alloc_intf
 
-let names = [ "new"; "new-cached"; "hoard"; "ptmalloc"; "libc" ]
+let names = [ "new"; "new-cached"; "hoard"; "ptmalloc"; "libc"; "bw" ]
 
 let make name rt cfg =
   match name with
   | "new" -> Inst ((module Mm_core.Lf_alloc), Mm_core.Lf_alloc.create rt cfg)
+  | "new-reuse" ->
+      (* The paper allocator over the reuse-in-place descriptor pool
+         (DESIGN.md §17); the name forces Reuse whatever the config
+         says, so "new" and "new-reuse" differ in exactly that one
+         field. Not in [names]: it is an ablation variant (experiment
+         ablation-reclaim), not a comparison allocator. *)
+      Inst
+        ( (module Mm_core.Lf_alloc),
+          Mm_core.Lf_alloc.create rt
+            { cfg with Mm_mem.Alloc_config.desc_pool = Mm_mem.Alloc_config.Reuse }
+        )
+  | "bw" ->
+      Inst
+        ( (module Mm_baselines.Bw_alloc),
+          Mm_baselines.Bw_alloc.create rt cfg )
   | "new-cached" ->
       (* The paper allocator behind the per-thread block-cache frontend;
          the name forces the cache on whatever the config says, so

@@ -1,12 +1,17 @@
 (** Registry of the allocators under comparison: the paper's four plus
-    the block-cache frontend extension. *)
+    the block-cache frontend extension and the Blelloch–Wei
+    constant-time baseline. *)
 
 val names : string list
-(** ["new"; "new-cached"; "hoard"; "ptmalloc"; "libc"] — "new" is the
-    paper's lock-free allocator; "new-cached" is the same allocator
-    behind the per-thread block-cache frontend
-    ([Mm_core.Block_cache], forced on regardless of the config's
-    [cache] bit). *)
+(** ["new"; "new-cached"; "hoard"; "ptmalloc"; "libc"; "bw"] — "new" is
+    the paper's lock-free allocator; "new-cached" is the same allocator
+    behind the per-thread block-cache frontend ([Mm_core.Block_cache],
+    forced on regardless of the config's [cache] bit); "bw" is the
+    Blelloch–Wei-style constant-time fixed-size allocator
+    ([Mm_baselines.Bw_alloc]). [make] additionally accepts "new-reuse"
+    (the paper allocator with [desc_pool = Reuse] forced on —
+    DESIGN.md §17), which is not a comparison column but the
+    ablation-reclaim variant. *)
 
 val make :
   string -> Mm_runtime.Rt.t -> Mm_mem.Alloc_config.t ->

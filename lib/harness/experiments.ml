@@ -465,6 +465,85 @@ let ablation_desc mode seed =
         ~rows:(ablation_rows ~seed ~threads:8 ~configs ~workloads);
   }
 
+(* DESIGN.md §17: what does descriptor reclamation cost, and what does
+   reuse-in-place eliminate? Same one-heap 16-thread shape as
+   contention-sites, traced, one row per reclamation variant. The
+   hazard scans and the freelist CAS windows come from the obs layer;
+   the spill/steal retry rates are the allocator's own striped census
+   (the two agree — tested in test_obs). *)
+let ablation_reclaim mode seed =
+  let wl inst ~threads =
+    W.Threadtest.run inst ~threads (threadtest_params mode)
+  in
+  (* The shared-freelist hand-off windows of the retiring variants:
+     Fig. 7 pop/refill/push for the hazard pool, plus the tagged pool's
+     internal Tis CASes (its pops/pushes are the freelist hand-off);
+     reuse-in-place has none of them. With the warm-superblock cache off
+     the tagged descriptor pool is the only default-label Tis instance,
+     so the tis.* labels are unambiguous here. *)
+  let freelist_windows =
+    Mm_core.Labels.[ desc_alloc; desc_refill; desc_push ]
+    @ Mm_lockfree.Lf_labels.[ tis_push_cas; tis_pop_cas ]
+  in
+  let rows =
+    List.map
+      (fun (vname, alloc_name) ->
+        (* Eager scan threshold so the hazard baseline exhibits its scan
+           cost at quick scale (the default amortises over 2*max_threads
+           retirements and never fires here); only the hazard pool reads
+           it, so the other rows are unaffected. *)
+        let c =
+          Traced.capture ~nheaps:1 ~allocator:alloc_name ~name:"threadtest"
+            ~threads:16 ~seed ~desc_scan_threshold:4 wl
+        in
+        note_census "new" c.Traced.metric;
+        let agg = Option.get c.Traced.metric.Metrics.obs in
+        let m = c.Traced.trace.Mm_obs.Trace_file.meta in
+        let ops = m.Mm_obs.Trace_file.mallocs + m.Mm_obs.Trace_file.frees in
+        let hp = Traced.trace_hp_scans c.Traced.trace in
+        let freelist_cas =
+          Mm_obs.Agg.retries agg ~labels:freelist_windows
+        in
+        let retry site =
+          Option.value (List.assoc_opt site c.Traced.retry_counts) ~default:0
+        in
+        [
+          vname;
+          Render.fmt_throughput c.Traced.metric.Metrics.throughput;
+          string_of_int hp;
+          per1k hp ops;
+          string_of_int freelist_cas;
+          string_of_int (retry "desc.spill" + retry "desc.steal");
+        ])
+      [
+        ("hazard pointers (paper)", "new");
+        ("IBM tag", "new-tagged");
+        ("reuse-in-place", "new-reuse");
+      ]
+  in
+  {
+    id = "ablation-reclaim";
+    title =
+      "DESIGN.md §17 ablation: descriptor reclamation (hazard scans vs \
+       IBM-tag freelist vs reuse-in-place), traced threadtest, ONE \
+       shared heap, 16 threads";
+    expectation =
+      "Retiring variants pay a reclamation tax: hazard pointers scan the \
+       retirement list (hp.scan events) and both retiring variants CAS \
+       through the shared freelist on every descriptor hand-off. \
+       Reuse-in-place records ZERO hp.scans and no freelist windows at \
+       all — its only shared traffic is the rare spill/steal residue — \
+       at the cost of never returning descriptor slots.";
+    lines =
+      Render.table
+        ~header:
+          [
+            "variant"; "throughput"; "hp.scan"; "scan/1k";
+            "freelist CAS fail"; "spill+steal retries";
+          ]
+        ~rows;
+  }
+
 let ablation_credits mode seed =
   let workloads =
     [
@@ -1054,6 +1133,7 @@ let experiments : (string * (mode -> int -> outcome)) list =
     ("uniproc", uniproc);
     ("ablation-partial", ablation_partial);
     ("ablation-desc", ablation_desc);
+    ("ablation-reclaim", ablation_reclaim);
     ("ablation-credits", ablation_credits);
     ("ablation-locks", ablation_locks);
     ("ablation-hyper", ablation_hyper);

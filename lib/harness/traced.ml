@@ -32,12 +32,15 @@ type capture = {
 }
 
 let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
-    ?(allocator = "new") ?(sb_cache = 0) ?(page_manager = false) ~name
-    ~threads ~seed wl =
+    ?(allocator = "new") ?(sb_cache = 0) ?(page_manager = false)
+    ?(desc_scan_threshold = 0) ~name ~threads ~seed wl =
   let nheaps = Option.value nheaps ~default:cpus in
   let sim = Sim.create ~cpus ~seed ~max_cycles:sim_budget () in
   let rt = Rt.simulated sim in
-  let cfg = Cfg.make ~nheaps ~sb_cache_depth:sb_cache ~page_manager () in
+  let cfg =
+    Cfg.make ~nheaps ~sb_cache_depth:sb_cache ~page_manager
+      ~desc_scan_threshold ()
+  in
   (* Keep a typed handle on the lock-free allocator so the capture can
      report its op counts and its independent striped retry census. For
      "new-cached" the retry census comes from the wrapped backend while
@@ -47,6 +50,17 @@ let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
     match allocator with
     | "new" ->
         let t = Lf.create rt cfg in
+        (Some t, None, Mm_mem.Alloc_intf.Inst ((module Lf), t))
+    | "new-reuse" ->
+        (* The paper allocator over the reuse-in-place descriptor pool
+           (DESIGN.md §17) — same typed handle as "new" so the striped
+           retry census (incl. desc.spill/desc.steal) is reported. *)
+        let t = Lf.create rt { cfg with Cfg.desc_pool = Cfg.Reuse } in
+        (Some t, None, Mm_mem.Alloc_intf.Inst ((module Lf), t))
+    | "new-tagged" ->
+        (* The IBM-tag descriptor-freelist ablation (the paper's Fig. 7
+           alternative), traced for the ablation-reclaim comparison. *)
+        let t = Lf.create rt { cfg with Cfg.desc_pool = Cfg.Tagged } in
         (Some t, None, Mm_mem.Alloc_intf.Inst ((module Lf), t))
     | "new-cached" ->
         let t = Bc.create rt { cfg with Cfg.cache = true } in
@@ -105,6 +119,8 @@ let core_sites =
     ("buddy.release", [ Pg.buddy_release ]);
     ("buddy.coalesce", [ Pg.buddy_coalesce ]);
     ("span.reserve", [ Pg.span_reserve ]);
+    ("desc.spill", [ L.desc_spill ]);
+    ("desc.steal", [ L.desc_steal ]);
   ]
 
 let core_retry_counts agg =
@@ -127,6 +143,15 @@ let trace_large_mmaps (tf : Trace_file.t) =
   match Obs_agg.site agg "store.mmap.large" with
   | Some s -> s.Obs_agg.mmaps
   | None -> 0
+
+(* Hazard-pointer scans recorded in a trace. The reuse-in-place
+   descriptor pool (DESIGN.md §17) exists to make this number zero; the
+   CI gate asserts exactly that on the traced threadtest. *)
+let trace_hp_scans (tf : Trace_file.t) =
+  let agg = Trace_file.agg tf in
+  List.fold_left
+    (fun n (s : Obs_agg.site) -> n + s.Obs_agg.hp_scans)
+    0 agg.Obs_agg.sites
 
 (* ------------------------------------------------------------------ *)
 (* Named workloads (quick parameters) for bin/trace.exe. *)
@@ -184,7 +209,10 @@ let report_lines (tf : Trace_file.t) =
     ]
   in
   let sites_tbl =
-    if m.allocator <> "new" && m.allocator <> "new-cached" then []
+    if
+      m.allocator <> "new" && m.allocator <> "new-reuse"
+      && m.allocator <> "new-tagged" && m.allocator <> "new-cached"
+    then []
     else
       "" :: "contention sites (failed CAS = one retry):"
       :: Render.table

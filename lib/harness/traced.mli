@@ -26,6 +26,7 @@ val capture :
   ?allocator:string ->
   ?sb_cache:int ->
   ?page_manager:bool ->
+  ?desc_scan_threshold:int ->
   name:string ->
   threads:int ->
   seed:int ->
@@ -34,11 +35,20 @@ val capture :
 (** Fresh simulator (16 CPUs, the experiments' cycle budget), fresh
     heap of [allocator] (default ["new"]) with [nheaps] processor heaps
     (default = [cpus]), tracer installed around the workload body.
+    Allocator ["new-reuse"] is the paper allocator over the
+    reuse-in-place descriptor pool (DESIGN.md §17), captured with the
+    same typed handle as ["new"] so its striped retry census (incl.
+    [desc.spill]/[desc.steal]) is reported; ["new-tagged"] is likewise
+    the IBM-tag descriptor-freelist ablation.
     [sb_cache] (default 0 = off, the paper-verbatim path) sets the
     warm-superblock cache depth per size class (DESIGN.md §14);
     [page_manager] (default [false] = off, likewise paper-verbatim)
     routes large blocks and superblock carving through the [lib/pages]
-    span reservoir (DESIGN.md §15). Tracing is host-side only: the
+    span reservoir (DESIGN.md §15). [desc_scan_threshold] (default 0 =
+    the hazard-pointer module's own [2 * max_threads * k] amortised
+    default) lowers the hazard pool's scan trigger so quick-scale runs
+    exhibit the scan cost the reuse-in-place pool eliminates — only the
+    [Hazard] descriptor pool reads it. Tracing is host-side only: the
     simulated run is bit-identical to an untraced one. *)
 
 (** {2 The paper's §4.2.3 contention sites}
@@ -59,6 +69,11 @@ val trace_large_mmaps : Mm_obs.Trace_file.t -> int
     above the size-class threshold going straight to the OS). Used by
     the [bin/trace.exe report --max-large-mmap-per-1k] CI gate; the
     page manager (DESIGN.md §15) exists to collapse this number. *)
+
+val trace_hp_scans : Mm_obs.Trace_file.t -> int
+(** Hazard-pointer scans recorded in the trace. Used by the
+    [bin/trace.exe report --max-hp-scan] CI gate; the reuse-in-place
+    descriptor pool (DESIGN.md §17) exists to make this number zero. *)
 
 (** {2 Named workloads (quick parameters) for the CLI} *)
 

@@ -1,5 +1,5 @@
 type partial_policy = Fifo | Lifo
-type desc_pool_kind = Hazard | Tagged
+type desc_pool_kind = Hazard | Tagged | Reuse
 type lock_kind = Tas_backoff | Ticket | Mcs | Pthread_like
 
 type t = {

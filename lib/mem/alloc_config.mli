@@ -13,6 +13,13 @@ type partial_policy =
 type desc_pool_kind =
   | Hazard  (** Fig. 7 with SafeCAS via hazard pointers (paper default) *)
   | Tagged  (** IBM tag in the freelist head word (paper [18] alternative) *)
+  | Reuse
+      (** "Reuse, don't Recycle" (Arbel-Raviv & Brown, DESIGN.md §17):
+          descriptors are immortal per-slot objects reused in place —
+          a per-thread LIFO of retired descriptors backed by a shared
+          tagged spill stack. No hazard pointers, no retire list, no
+          [hp.scan]: ABA safety comes from the anchor/IBM tag
+          discipline that already guards every descriptor CAS. *)
 
 type lock_kind =
   | Tas_backoff  (** "lightweight" test-and-set lock of §4 *)

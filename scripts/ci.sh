@@ -42,6 +42,12 @@ dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
 # span reservoir). Exit code 2 fails the gate.
 dune exec bin/trace.exe -- report large-alloc --threads 8 \
   --page-manager --max-large-mmap-per-1k 5.0 > /dev/null
+# Reclamation gate (DESIGN.md §17): the reuse-in-place descriptor pool
+# must record ZERO hazard-pointer scans on the 16-thread threadtest —
+# it never retires, so a single hp.scan event means a hazard-protected
+# path leaked back into the Reuse variant. Exit code 2 fails the gate.
+dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
+  --allocator new-reuse --max-hp-scan 0 > /dev/null
 dune build @lint
 dune build @sa
 dune runtest

@@ -1,9 +1,10 @@
 (* Allocator conformance suite.
 
-   Every behaviour here is required of all four allocators (the lock-free
-   allocator and the three lock-based baselines), on both the real and
-   the simulated runtime — 8 combinations, one alcotest case per
-   (behaviour, combination). *)
+   Every behaviour here is required of every registered allocator (the
+   lock-free allocator, its cached frontend, the three lock-based
+   baselines and the Blelloch–Wei constant-time baseline), on both the
+   real and the simulated runtime — 12 combinations, one alcotest case
+   per (behaviour, combination). *)
 
 open Mm_runtime
 module I = Mm_mem.Alloc_intf

@@ -1,5 +1,6 @@
-(* Descriptor table, descriptor pool (both ABA-prevention variants) and
-   size-class partial lists (both policies). *)
+(* Descriptor table, descriptor pool (all three reclamation variants:
+   hazard pointers, IBM tags, reuse-in-place) and size-class partial
+   lists (both policies). *)
 
 open Mm_runtime
 module D = Mm_core.Descriptor
@@ -48,7 +49,8 @@ let table_bounds () =
 
 (* ---------------- Desc pool ---------------- *)
 
-let pool_kinds = [ ("hazard", Cfg.Hazard); ("tagged", Cfg.Tagged) ]
+let pool_kinds =
+  [ ("hazard", Cfg.Hazard); ("tagged", Cfg.Tagged); ("reuse", Cfg.Reuse) ]
 
 let pool_alloc_retire kind () =
   let tbl = D.create_table Rt.real ~capacity:1024 in
@@ -108,6 +110,98 @@ let pool_reuses kind () =
     if Pool.alloc pool == d then seen := true
   done;
   Alcotest.(check bool) "retired descriptor reused" true !seen
+
+(* ---------------- Reuse-in-place specifics (DESIGN.md §17) -------- *)
+
+let reuse_slot_identity () =
+  (* batch_size 1: the second retire spills, so the two reallocations
+     exercise both return paths — private LIFO and shared-stack steal —
+     and both must hand back the very same immortal slots. *)
+  let tbl = D.create_table Rt.real ~capacity:256 in
+  let pool = Pool.create Rt.real tbl ~kind:Cfg.Reuse ~batch_size:1 () in
+  let a = Pool.alloc pool in
+  let b = Pool.alloc pool in
+  let live = D.live_count tbl in
+  Pool.retire pool a;
+  Pool.retire pool b;
+  let a' = Pool.alloc pool in
+  let b' = Pool.alloc pool in
+  Alcotest.(check bool) "LIFO returns the same slot" true (a' == a);
+  Alcotest.(check bool) "steal returns the same slot" true (b' == b);
+  Alcotest.(check int) "no slot discarded, none created" live
+    (D.live_count tbl);
+  Alcotest.(check bool) "table binding stable" true (D.get tbl a.D.id == a)
+
+let reuse_tag_monotonic () =
+  (* Model reuse lives the way the allocator uses a descriptor: each
+     life performs one tag-bumping anchor update. Reuse-in-place never
+     resets the anchor, so the tag a slot comes back with is exactly the
+     tag its last life left — the per-slot tag sequence is strictly
+     increasing across lives, which is the whole ABA argument for
+     skipping reclamation (DESIGN.md §17). *)
+  let tbl = D.create_table Rt.real ~capacity:64 in
+  let pool = Pool.create Rt.real tbl ~kind:Cfg.Reuse ~batch_size:1 () in
+  let last = Hashtbl.create 8 in
+  for _ = 1 to 16 do
+    let a = Pool.alloc pool in
+    let b = Pool.alloc pool in
+    List.iter
+      (fun (d : D.t) ->
+        let w = Rt.Atomic.get d.D.anchor in
+        let tag = Anchor.tag w in
+        (match Hashtbl.find_opt last d.D.id with
+        | Some prev ->
+            Alcotest.(check int)
+              (Printf.sprintf "slot %d tag preserved across reuse" d.D.id)
+              prev tag
+        | None -> ());
+        let w' = Anchor.incr_tag w in
+        Rt.Atomic.set d.D.anchor w';
+        Hashtbl.replace last d.D.id (Anchor.tag w'))
+      [ a; b ];
+    Pool.retire pool a;
+    Pool.retire pool b
+  done
+
+let reuse_kill_in_window label () =
+  (* Kill the first thread to enter the new spill/steal CAS window: the
+     survivors must finish their rounds and the pool must stay usable —
+     the dead thread leaks at most its own private chain. *)
+  let killed = ref (-1) in
+  let on_label ~tid l =
+    if l = label && !killed = -1 then begin
+      killed := tid;
+      Sim.Kill
+    end
+    else Sim.Continue
+  in
+  let s = sim ~cpus:4 ~on_label () in
+  let rt = Rt.simulated s in
+  let tbl = D.create_table rt ~capacity:4096 in
+  let pool = Pool.create rt tbl ~kind:Cfg.Reuse ~batch_size:1 () in
+  let body _tid =
+    for _ = 1 to 12 do
+      let a = Pool.alloc pool in
+      let b = Pool.alloc pool in
+      Pool.retire pool a;
+      Pool.retire pool b
+    done
+  in
+  let r = Sim.run s (Array.init 4 (fun i _ -> body i)) in
+  Alcotest.(check bool) ("kill fired: " ^ label) true (!killed >= 0);
+  Alcotest.(check int) "one thread killed" 1 r.Sim.counters.Sim.killed;
+  let ok = ref false in
+  ignore
+    (Sim.run s
+       [|
+         (fun _ ->
+           let a = Pool.alloc pool in
+           let b = Pool.alloc pool in
+           Pool.retire pool a;
+           Pool.retire pool b;
+           ok := true);
+       |]);
+  Alcotest.(check bool) "pool usable after kill" true !ok
 
 (* ---------------- Partial list ---------------- *)
 
@@ -203,6 +297,14 @@ let cases =
           case ("pool reuse " ^ name) (pool_reuses kind);
         ])
       pool_kinds
+  @ [
+      case "reuse slot identity across free->alloc" reuse_slot_identity;
+      case "reuse anchor tag monotone across lives" reuse_tag_monotonic;
+      case "reuse kill in spill window"
+        (reuse_kill_in_window Mm_core.Labels.desc_spill);
+      case "reuse kill in steal window"
+        (reuse_kill_in_window Mm_core.Labels.desc_steal);
+    ]
   @ List.concat_map
       (fun (name, policy) ->
         [

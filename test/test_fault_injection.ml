@@ -10,9 +10,12 @@
    - kill: the thread dies at the label; survivors complete and the
      allocator remains usable afterwards.
 
-   The probe runs two phases per thread: the bare allocator (reaching
-   every backend label) and the block-cache frontend (reaching the
-   batched bc.* refill/flush labels, DESIGN.md §13).
+   The probe runs four phases per thread: the bare allocator (reaching
+   every backend label), the block-cache frontend (reaching the batched
+   bc.* refill/flush labels, DESIGN.md §13), the warm-superblock cache
+   (sbc.* labels, DESIGN.md §14), and a reuse-in-place descriptor pool
+   driven directly with batch_size 1 so the spill/steal hand-off labels
+   fire (desc.spill / desc.steal, DESIGN.md §17).
 
    Plus schedule fuzzing: many seeds of a mixed workload with full
    invariant checks. *)
@@ -62,19 +65,41 @@ let probe_body ~malloc ~free n tid =
     Array.iter free burst
   done
 
-(* Three allocators on one runtime, and a body running the plain phase,
-   the cached phase, then the warm-superblock phase — together they
-   reach every label in L.all. *)
+(* The reuse-pool phase drives a Reuse descriptor pool directly with
+   batch_size 1: the private LIFO holds one descriptor, so every
+   second retire spills to the shared stack (desc.spill) and a drained
+   LIFO steals a spilled descriptor back (desc.steal). *)
+module P = Mm_core.Desc_pool
+
+let probe_reuse pool n =
+  for _ = 1 to n do
+    let a = P.alloc pool in
+    let b = P.alloc pool in
+    P.retire pool a;
+    P.retire pool b;
+    (* a comes back off the private LIFO; the next alloc must steal *)
+    let c = P.alloc pool in
+    let d = P.alloc pool in
+    P.retire pool c;
+    P.retire pool d
+  done
+
+(* Three allocators and a reuse pool on one runtime, and a body running
+   the plain phase, the cached phase, the warm-superblock phase, then
+   the reuse-pool phase — together they reach every label in L.all. *)
 let probe_pair rt =
   let t = A.create rt probe_cfg in
   let tc = Bc.create rt cached_cfg in
   let ts = A.create rt sbc_cfg in
+  let table = Mm_core.Descriptor.create_table rt ~capacity:256 in
+  let pool = P.create rt table ~kind:Cfg.Reuse ~batch_size:1 () in
   let body n tid =
     probe_body ~malloc:(A.malloc t) ~free:(A.free t) n tid;
     probe_body ~malloc:(Bc.malloc tc) ~free:(Bc.free tc) n tid;
-    probe_body ~malloc:(A.malloc ts) ~free:(A.free ts) n tid
+    probe_body ~malloc:(A.malloc ts) ~free:(A.free ts) n tid;
+    probe_reuse pool n
   in
-  (t, tc, ts, body)
+  (t, tc, ts, pool, body)
 
 let coverage () =
   let hits = Hashtbl.create 32 in
@@ -83,7 +108,7 @@ let coverage () =
     Sim.Continue
   in
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, body = probe_pair (Rt.simulated s) in
+  let t, tc, ts, _pool, body = probe_pair (Rt.simulated s) in
   ignore (Sim.run s (Array.init 4 (fun _ -> body 4)));
   List.iter
     (fun l ->
@@ -116,7 +141,7 @@ let pause_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, pbody = probe_pair (Rt.simulated s) in
+  let t, tc, ts, _pool, pbody = probe_pair (Rt.simulated s) in
   let body tid =
     pbody 3 tid;
     finished.(tid) <- true
@@ -143,7 +168,7 @@ let kill_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, pbody = probe_pair (Rt.simulated s) in
+  let t, tc, ts, pool, pbody = probe_pair (Rt.simulated s) in
   let completed = Array.make threads false in
   let body tid =
     pbody 3 tid;
@@ -172,6 +197,7 @@ let kill_at label () =
           Array.iter (Bc.free tc) addrs;
           let addrs = Array.init 200 (fun _ -> A.malloc ts 8) in
           Array.iter (A.free ts) addrs;
+          probe_reuse pool 2;
           s2_ok := true);
       |]
   in
