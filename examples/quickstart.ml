@@ -1,20 +1,20 @@
 (* Quickstart: the lock-free allocator as a library.
 
-   Creates a heap, allocates and frees blocks from several domains on the
-   real OCaml-multicore runtime, stores data in the blocks through the
-   simulated memory substrate, and prints space/OS statistics.
+   Creates a heap specialized to the real OCaml-multicore runtime
+   (compile-time instantiation, DESIGN.md §18), allocates and frees
+   blocks from several domains, stores data in the blocks through the
+   memory substrate, and prints space/OS statistics.
 
      dune exec examples/quickstart.exe
 *)
 
 open Mm_runtime
-module A = Mm_core.Lf_alloc
-module Store = Mm_mem.Store
-module Space = Mm_mem.Space
+module A = Mm_core.Lf_alloc.Make (Real_rt)
+module Store = Mm_mem.Store.Make (Real_rt)
+module Space = Mm_mem.Space.Make (Real_rt)
 
 let () =
-  let rt = Rt.real in
-  let heap = A.create rt (Mm_mem.Alloc_config.make ~nheaps:4 ()) in
+  let heap = A.create () (Mm_mem.Alloc_config.make ~nheaps:4 ()) in
   let store = A.store heap in
 
   (* Single-threaded use: allocate, write, read, free. *)
@@ -41,13 +41,14 @@ let () =
     done;
     Array.iter (fun a -> if a <> 0 then A.free heap a) slots
   in
-  let r = Rt.parallel_run rt (Array.make 4 body) in
+  let r = Rt.parallel_run Rt.real (Array.make 4 body) in
   let mallocs, frees = A.op_counts heap in
   Printf.printf "4 domains: %d mallocs / %d frees in %.3fs\n" mallocs frees
     r.Rt.elapsed;
 
-  (* The rest of the C API surface: calloc / realloc / aligned_alloc. *)
-  let inst = Mm_mem.Alloc_intf.Inst ((module A), heap) in
+  (* The rest of the C API surface: calloc / realloc / aligned_alloc,
+     over the runtime-erased instance packaging of the same heap. *)
+  let inst = A.instance Rt.real heap in
   let z = Mm_mem.Alloc_ops.calloc inst ~count:16 ~size:8 in
   assert (Store.read_word store z = 0);
   let z = Mm_mem.Alloc_ops.realloc inst z 4_096 in
@@ -65,7 +66,7 @@ let () =
   let os = Store.os_stats store in
   Printf.printf
     "space: %d KB mapped now, %d KB at peak; %d mmaps, %d munmaps\n"
-    (s.Space.mapped / 1024)
-    (s.Space.mapped_peak / 1024)
-    os.Store.mmap_calls os.Store.munmap_calls;
+    (s.Mm_mem.Space.mapped / 1024)
+    (s.Mm_mem.Space.mapped_peak / 1024)
+    os.Mm_mem.Store.mmap_calls os.Mm_mem.Store.munmap_calls;
   print_endline "quickstart OK"

@@ -1,8 +1,19 @@
 open Mm_runtime
-module A = Mm_core.Lf_alloc
+
+(* Everything here drives controlled schedules, so the whole file works
+   on the simulated instantiation of the functorized stack: [Sim_rt]
+   handles are the simulator instance itself, no value dispatch. *)
+module A = Mm_core.Lf_alloc.Make (Sim_rt)
+module Bc = Mm_core.Block_cache.Make (Sim_rt)
+module Descr = Mm_core.Descriptor.Make (Sim_rt)
+module Dp = Mm_core.Desc_pool.Make (Sim_rt)
+module St = Mm_mem.Store.Make (Sim_rt)
+module Pm = Mm_pages.Page_manager.Make (Sim_rt)
 module Labels = Mm_core.Labels
 module Lf_labels = Mm_lockfree.Lf_labels
-module Q = Mm_lockfree.Ms_queue
+module Q = Mm_lockfree.Ms_queue.Make (Sim_rt)
+module Ts = Mm_lockfree.Treiber_stack.Make (Sim_rt)
+module Tis = Mm_lockfree.Tagged_id_stack.Make (Sim_rt)
 module Cfg = Mm_mem.Alloc_config
 
 type t = {
@@ -64,8 +75,7 @@ let alloc_cfg ~anchor_tag =
 let alloc_run ~anchor_tag ~threads ?on_label ?notify_done
     ?(quiescent_checks = true) ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let t = A.create rt (alloc_cfg ~anchor_tag) in
+  let t = A.create s (alloc_cfg ~anchor_tag) in
   let orc = Oracle.create_alloc () in
   let m () =
     let a = A.malloc t 8 in
@@ -120,17 +130,16 @@ let cached_cfg =
 let cached_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let t = Mm_core.Block_cache.create rt cached_cfg in
+  let t = Bc.create s cached_cfg in
   let orc = Oracle.create_alloc () in
   let m () =
-    let a = Mm_core.Block_cache.malloc t 8 in
+    let a = Bc.malloc t 8 in
     Oracle.malloc_returned orc a;
     a
   in
   let f a =
     let p = Oracle.free_invoked orc a in
-    Mm_core.Block_cache.free t a;
+    Bc.free t a;
     Oracle.free_returned orc p
   in
   let body _tid =
@@ -143,7 +152,7 @@ let cached_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
   in
   guarded (fun () ->
       spawn s ~threads ?notify_done body;
-      if quiescent_checks then Mm_core.Block_cache.check_invariants t)
+      if quiescent_checks then Bc.check_invariants t)
 
 let lf_alloc_cached =
   {
@@ -168,8 +177,7 @@ let sbcache_cfg =
 let sbcache_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let t = A.create rt sbcache_cfg in
+  let t = A.create s sbcache_cfg in
   let orc = Oracle.create_alloc () in
   let m () =
     let a = A.malloc t 8 in
@@ -218,15 +226,12 @@ let lf_alloc_sbcache =
 let buddy_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let store = Mm_mem.Store.create rt ~capacity:128 ~sbsize:4096 () in
-  let pm =
-    Mm_pages.Page_manager.create rt store ~max_spans:4 ~span_pages:4 ()
-  in
+  let store = St.create s ~capacity:128 ~sbsize:4096 () in
+  let pm = Pm.create s store ~max_spans:4 ~span_pages:4 () in
   let page = Mm_mem.Store.page in
   let orc = Oracle.create_alloc () in
   let m pages =
-    match Mm_pages.Page_manager.alloc pm ~len:(pages * page) with
+    match Pm.alloc pm ~len:(pages * page) with
     | None -> None
     | Some a ->
         for i = 0 to pages - 1 do
@@ -238,7 +243,7 @@ let buddy_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     let ps =
       List.init pages (fun i -> Oracle.free_invoked orc (a + (i * page)))
     in
-    if not (Mm_pages.Page_manager.free pm a ~len:(pages * page)) then
+    if not (Pm.free pm a ~len:(pages * page)) then
       failwith "page manager disowned a granted extent";
     List.iter (Oracle.free_returned orc) ps
   in
@@ -253,7 +258,7 @@ let buddy_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
   guarded (fun () ->
       spawn s ~threads ?notify_done body;
       if quiescent_checks then begin
-        Mm_pages.Page_manager.check_invariants pm;
+        Pm.check_invariants pm;
         if Oracle.live_count orc <> 0 then
           failwith "buddy grants still live at quiescence"
       end)
@@ -274,8 +279,7 @@ let buddy =
 let queue_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let q = Q.create rt in
+  let q = Q.create s in
   let orc = Oracle.create_fifo () in
   let enq tid v =
     Oracle.enqueued orc ~tid v;
@@ -317,20 +321,18 @@ let ms_queue =
 let pool_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let table = Mm_core.Descriptor.create_table rt ~capacity:256 in
+  let table = Descr.create_table s ~capacity:256 in
   let pool =
-    Mm_core.Desc_pool.create rt table ~kind:Cfg.Hazard ~batch_size:2
-      ~scan_threshold:1 ()
+    Dp.create s table ~kind:Cfg.Hazard ~batch_size:2 ~scan_threshold:1 ()
   in
   let own = Oracle.create_ownership () in
   let body tid =
     for _ = 1 to 3 do
-      let d = Mm_core.Desc_pool.alloc pool in
-      Oracle.acquire own ~tid d.Mm_core.Descriptor.id;
-      Rt.yield rt;
-      Oracle.release own ~tid d.Mm_core.Descriptor.id;
-      Mm_core.Desc_pool.retire pool d
+      let d = Dp.alloc pool in
+      Oracle.acquire own ~tid d.Descr.id;
+      Sim_rt.yield s;
+      Oracle.release own ~tid d.Descr.id;
+      Dp.retire pool d
     done
   in
   guarded (fun () ->
@@ -359,18 +361,15 @@ let desc_pool =
 let pool_reuse_run ~threads ?on_label ?notify_done
     ?(quiescent_checks = true) ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let table = Mm_core.Descriptor.create_table rt ~capacity:256 in
-  let pool =
-    Mm_core.Desc_pool.create rt table ~kind:Cfg.Reuse ~batch_size:1 ()
-  in
+  let table = Descr.create_table s ~capacity:256 in
+  let pool = Dp.create s table ~kind:Cfg.Reuse ~batch_size:1 () in
   let own = Oracle.create_ownership () in
   let last_tag = Hashtbl.create 16 in
   let take tid =
-    let d = Mm_core.Desc_pool.alloc pool in
-    let id = d.Mm_core.Descriptor.id in
+    let d = Dp.alloc pool in
+    let id = d.Descr.id in
     Oracle.acquire own ~tid id;
-    let a = Rt.Atomic.get d.Mm_core.Descriptor.anchor in
+    let a = Sim_rt.Atomic.get d.Descr.anchor in
     let tag = Mm_core.Anchor.tag a in
     (match Hashtbl.find_opt last_tag id with
     | Some prev when tag < prev ->
@@ -380,14 +379,14 @@ let pool_reuse_run ~threads ?on_label ?notify_done
              tag prev)
     | _ -> ());
     let a' = Mm_core.Anchor.incr_tag a in
-    Rt.Atomic.set d.Mm_core.Descriptor.anchor a';
+    Sim_rt.Atomic.set d.Descr.anchor a';
     Hashtbl.replace last_tag id (Mm_core.Anchor.tag a');
-    Rt.yield rt;
+    Sim_rt.yield s;
     d
   in
-  let put tid (d : Mm_core.Descriptor.t) =
-    Oracle.release own ~tid d.Mm_core.Descriptor.id;
-    Mm_core.Desc_pool.retire pool d
+  let put tid (d : Descr.t) =
+    Oracle.release own ~tid d.Descr.id;
+    Dp.retire pool d
   in
   let body tid =
     for _ = 1 to 2 do
@@ -421,21 +420,20 @@ let desc_pool_reuse =
 let ts_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
-  let st = Mm_lockfree.Treiber_stack.create rt in
+  let st = Ts.create s in
   for id = 0 to threads - 1 do
-    Mm_lockfree.Treiber_stack.push st id
+    Ts.push st id
   done;
   let own = Oracle.create_ownership () in
   let body tid =
     for _ = 1 to 3 do
-      match Mm_lockfree.Treiber_stack.pop st with
+      match Ts.pop st with
       | Some id ->
           Oracle.acquire own ~tid id;
-          Rt.yield rt;
+          Sim_rt.yield s;
           Oracle.release own ~tid id;
-          Mm_lockfree.Treiber_stack.push st id
-      | None -> Rt.yield rt
+          Ts.push st id
+      | None -> Sim_rt.yield s
     done
   in
   guarded (fun () ->
@@ -443,7 +441,7 @@ let ts_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
       if quiescent_checks then begin
         if Oracle.held_count own <> 0 then
           failwith "stack ids still held at quiescence";
-        let n = Mm_lockfree.Treiber_stack.length st in
+        let n = Ts.length st in
         if n <> threads then
           failwith
             (Printf.sprintf "stack has %d ids at quiescence, expected %d"
@@ -462,27 +460,26 @@ let treiber_stack =
 let tis_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
     ~sched () =
   let s = make_sim ~threads ?on_label ~sched () in
-  let rt = Rt.simulated s in
   let links = Array.make (max threads 1) (-1) in
   let st =
-    Mm_lockfree.Tagged_id_stack.create rt
+    Tis.create s
       ~get_next:(fun id -> links.(id))
       ~set_next:(fun id n -> links.(id) <- n)
       ()
   in
   for id = 0 to threads - 1 do
-    Mm_lockfree.Tagged_id_stack.push st id
+    Tis.push st id
   done;
   let own = Oracle.create_ownership () in
   let body tid =
     for _ = 1 to 3 do
-      match Mm_lockfree.Tagged_id_stack.pop st with
+      match Tis.pop st with
       | Some id ->
           Oracle.acquire own ~tid id;
-          Rt.yield rt;
+          Sim_rt.yield s;
           Oracle.release own ~tid id;
-          Mm_lockfree.Tagged_id_stack.push st id
-      | None -> Rt.yield rt
+          Tis.push st id
+      | None -> Sim_rt.yield s
     done
   in
   guarded (fun () ->
@@ -490,7 +487,7 @@ let tis_run ~threads ?on_label ?notify_done ?(quiescent_checks = true)
       if quiescent_checks then begin
         if Oracle.held_count own <> 0 then
           failwith "stack ids still held at quiescence";
-        let n = List.length (Mm_lockfree.Tagged_id_stack.to_list st) in
+        let n = List.length (Tis.to_list st) in
         if n <> threads then
           failwith
             (Printf.sprintf "stack has %d ids at quiescence, expected %d"

@@ -1,79 +1,81 @@
-open Mm_runtime
-module Ts = Mm_lockfree.Treiber_stack
+module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
+  module Ts = Mm_lockfree.Treiber_stack.Make (Rt)
 
-type t = {
-  id : int;
-  anchor : int Rt.atomic;
-  mutable next_d : t option;
-  mutable next_id : int;
-  mutable next_c : int;
-  mutable sb : int;
-  mutable heap_gid : int;
-  mutable sz : int;
-  mutable maxcount : int;
-}
 
-type table = {
-  rt : Rt.t;
-  slots : t option Rt.atomic array;
-  next : int Rt.atomic;
-  free_ids : int Ts.t;
-}
-
-let create_table rt ~capacity =
-  if capacity < 2 then invalid_arg "Descriptor.create_table: capacity";
-  {
-    rt;
-    slots = Array.init capacity (fun _ -> Rt.Atomic.make rt None);
-    next = Rt.Atomic.make rt 1 (* id 0 is the NULL descriptor *);
-    free_ids = Ts.create rt;
+  type t = {
+    id : int;
+    anchor : int Rt.atomic;
+    mutable next_d : t option;
+    mutable next_id : int;
+    mutable next_c : int;
+    mutable sb : int;
+    mutable heap_gid : int;
+    mutable sz : int;
+    mutable maxcount : int;
   }
 
-let fresh_id tbl =
-  match Ts.pop tbl.free_ids with
-  | Some id -> id
-  | None ->
-      let id = Rt.Atomic.fetch_and_add tbl.next 1 in
-      if id >= Array.length tbl.slots then
-        failwith "Descriptor: table exhausted (raise store_capacity)";
-      id
+  type table = {
+    rt : Rt.t;
+    slots : t option Rt.atomic array;
+    next : int Rt.atomic;
+    free_ids : int Ts.t;
+  }
 
-let alloc_batch tbl n =
-  List.init n (fun _ ->
-      let id = fresh_id tbl in
-      let d =
-        {
-          id;
-          anchor =
-            Rt.Atomic.make tbl.rt
-              (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:0);
-          next_d = None;
-          next_id = -1;
-          next_c = -1;
-          sb = Mm_mem.Addr.null;
-          heap_gid = -1;
-          sz = 0;
-          maxcount = 0;
-        }
-      in
-      Rt.Atomic.set tbl.slots.(id) (Some d);
-      d)
+  let create_table rt ~capacity =
+    if capacity < 2 then invalid_arg "Descriptor.create_table: capacity";
+    {
+      rt;
+      slots = Array.init capacity (fun _ -> Rt.Atomic.make rt None);
+      next = Rt.Atomic.make rt 1 (* id 0 is the NULL descriptor *);
+      free_ids = Ts.create rt;
+    }
 
-let discard tbl d =
-  Rt.Atomic.set tbl.slots.(d.id) None;
-  Ts.push tbl.free_ids d.id
+  let fresh_id tbl =
+    match Ts.pop tbl.free_ids with
+    | Some id -> id
+    | None ->
+        let id = Rt.Atomic.fetch_and_add tbl.next 1 in
+        if id >= Array.length tbl.slots then
+          failwith "Descriptor: table exhausted (raise store_capacity)";
+        id
 
-let get tbl id =
-  if id < 1 || id >= Array.length tbl.slots then
-    invalid_arg "Descriptor.get: id out of range";
-  match Rt.Atomic.get tbl.slots.(id) with
-  | Some d -> d
-  | None -> invalid_arg "Descriptor.get: dead id"
+  let alloc_batch tbl n =
+    List.init n (fun _ ->
+        let id = fresh_id tbl in
+        let d =
+          {
+            id;
+            anchor =
+              Rt.Atomic.make tbl.rt
+                (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:0);
+            next_d = None;
+            next_id = -1;
+            next_c = -1;
+            sb = Mm_mem.Addr.null;
+            heap_gid = -1;
+            sz = 0;
+            maxcount = 0;
+          }
+        in
+        Rt.Atomic.set tbl.slots.(id) (Some d);
+        d)
 
-let fold_live tbl ~init ~f =
-  Array.fold_left
-    (fun acc slot ->
-      match Rt.Atomic.get slot with Some d -> f acc d | None -> acc)
-    init tbl.slots
+  let discard tbl d =
+    Rt.Atomic.set tbl.slots.(d.id) None;
+    Ts.push tbl.free_ids d.id
 
-let live_count tbl = fold_live tbl ~init:0 ~f:(fun n _ -> n + 1)
+  let get tbl id =
+    if id < 1 || id >= Array.length tbl.slots then
+      invalid_arg "Descriptor.get: id out of range";
+    match Rt.Atomic.get tbl.slots.(id) with
+    | Some d -> d
+    | None -> invalid_arg "Descriptor.get: dead id"
+
+  let fold_live tbl ~init ~f =
+    Array.fold_left
+      (fun acc slot ->
+        match Rt.Atomic.get slot with Some d -> f acc d | None -> acc)
+      init tbl.slots
+
+  let live_count tbl = fold_live tbl ~init:0 ~f:(fun n _ -> n + 1)
+end

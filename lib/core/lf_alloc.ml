@@ -1,1134 +1,1144 @@
-open Mm_runtime
-module Cfg = Mm_mem.Alloc_config
-module Store = Mm_mem.Store
-module Addr = Mm_mem.Addr
-module Sc = Mm_mem.Size_class
-module Prefix = Mm_mem.Block_prefix
-module Backoff = Mm_lockfree.Backoff
-module Pm = Mm_pages.Page_manager
+module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
+  module Descriptor = Descriptor.Make (Rt)
+  module Desc_pool = Desc_pool.Make (Rt)
+  module Partial_list = Partial_list.Make (Rt)
+  module Sb_cache = Sb_cache.Make (Rt)
 
-(* Line numbers in comments refer to the paper's Figures 4 (malloc) and
-   6 (free). *)
+  module Cfg = Mm_mem.Alloc_config
+  module Store = Mm_mem.Store.Make (Rt)
+  module Addr = Mm_mem.Addr
+  module Sc = Mm_mem.Size_class
+  module Prefix = Mm_mem.Block_prefix
+  module Backoff = Mm_lockfree.Backoff.Make (Rt)
+  module Pm = Mm_pages.Page_manager.Make (Rt)
 
-type heap = {
-  gid : int;  (* sc * nheaps + h *)
-  sc : int;
-  active : int Rt.atomic;  (* packed Active_word, 0 = NULL *)
-  partial : int Rt.atomic;  (* descriptor id, 0 = none *)
-}
+  (* Line numbers in comments refer to the paper's Figures 4 (malloc) and
+     6 (free). *)
 
-type t = {
-  rt : Rt.t;
-  cfg : Cfg.t;
-  store : Store.t;
-  classes : Sc.t;
-  nheaps_ : int;
-  heaps : heap array array;  (* [size class].[processor heap] *)
-  lists : Partial_list.t array;  (* per size class *)
-  table : Descriptor.table;
-  pool : Desc_pool.t;
-  sbc : Sb_cache.t;  (* warm EMPTY-superblock cache, DESIGN.md §14 *)
-  pm : Pm.t option;  (* span reservoir + buddy backend, DESIGN.md §15 *)
-  mallocs : int array;  (* striped per-thread op counters *)
-  frees : int array;
-  (* CAS-retry counters per contention site (striped per thread):
-     quantifies where interference lands, cf. the paper's §4.2.3
-     discussion of overlapping read-modify-write segments. *)
-  retry_reserve : int array;
-  retry_pop : int array;
-  retry_free : int array;
-  retry_update_active : int array;
-  retry_partial_slot : int array;
-  retry_park : int array;
-  retry_adopt : int array;
-  retry_buddy_acquire : int array;
-  retry_buddy_release : int array;
-  retry_buddy_coalesce : int array;
-  retry_span_reserve : int array;
-  retry_desc_spill : int array;
-  retry_desc_steal : int array;
-}
-
-let retry_sites =
-  [ "active.reserve"; "anchor.pop"; "anchor.free"; "update_active";
-    "partial.slot"; "sbc.park"; "sbc.adopt"; "buddy.acquire";
-    "buddy.release"; "buddy.coalesce"; "span.reserve"; "desc.spill";
-    "desc.steal" ]
-
-let name = "new"
-
-let create rt (cfg : Cfg.t) =
-  let classes = Sc.make ~sbsize:cfg.sbsize () in
-  let nheaps = Cfg.effective_nheaps cfg rt in
-  let store =
-    Store.create rt ~capacity:cfg.store_capacity ~sbsize:cfg.sbsize
-      ~hyperblocks:cfg.hyperblocks ()
-  in
-  let table = Descriptor.create_table rt ~capacity:(2 * cfg.store_capacity) in
-  let stripe arr () = arr.(Rt.self rt) <- arr.(Rt.self rt) + 1 in
-  let retry_desc_spill = Array.make Rt.max_threads 0 in
-  let retry_desc_steal = Array.make Rt.max_threads 0 in
-  let pool =
-    Desc_pool.create rt table ~kind:cfg.desc_pool
-      ?scan_threshold:
-        (if cfg.desc_scan_threshold > 0 then Some cfg.desc_scan_threshold
-         else None)
-      ~on_spill_retry:(stripe retry_desc_spill)
-      ~on_steal_retry:(stripe retry_desc_steal) ()
-  in
-  let nclasses = Sc.count classes in
-  let heaps =
-    Array.init nclasses (fun sc ->
-        Array.init nheaps (fun h ->
-            {
-              gid = (sc * nheaps) + h;
-              sc;
-              active = Rt.Atomic.make rt Active_word.null;
-              partial = Rt.Atomic.make rt 0;
-            }))
-  in
-  let lists =
-    Array.init nclasses (fun _ -> Partial_list.create rt cfg.partial_policy)
-  in
-  let retry_park = Array.make Rt.max_threads 0 in
-  let retry_adopt = Array.make Rt.max_threads 0 in
-  let sbc =
-    Sb_cache.create rt ~depth:cfg.sb_cache_depth ~nclasses ~table
-      ~on_park_retry:(fun () ->
-        retry_park.(Rt.self rt) <- retry_park.(Rt.self rt) + 1)
-      ~on_adopt_retry:(fun () ->
-        retry_adopt.(Rt.self rt) <- retry_adopt.(Rt.self rt) + 1)
-      ()
-  in
-  let retry_buddy_acquire = Array.make Rt.max_threads 0 in
-  let retry_buddy_release = Array.make Rt.max_threads 0 in
-  let retry_buddy_coalesce = Array.make Rt.max_threads 0 in
-  let retry_span_reserve = Array.make Rt.max_threads 0 in
-  let pm =
-    if cfg.page_manager then
-      Some
-        (Pm.create rt store ~span_pages:cfg.span_pages
-           ~on_acquire_retry:(stripe retry_buddy_acquire)
-           ~on_release_retry:(stripe retry_buddy_release)
-           ~on_coalesce_retry:(stripe retry_buddy_coalesce)
-           ~on_span_retry:(stripe retry_span_reserve) ())
-    else None
-  in
-  {
-    rt;
-    cfg;
-    store;
-    classes;
-    nheaps_ = nheaps;
-    heaps;
-    lists;
-    table;
-    pool;
-    sbc;
-    pm;
-    mallocs = Array.make Rt.max_threads 0;
-    frees = Array.make Rt.max_threads 0;
-    retry_reserve = Array.make Rt.max_threads 0;
-    retry_pop = Array.make Rt.max_threads 0;
-    retry_free = Array.make Rt.max_threads 0;
-    retry_update_active = Array.make Rt.max_threads 0;
-    retry_partial_slot = Array.make Rt.max_threads 0;
-    retry_park;
-    retry_adopt;
-    retry_buddy_acquire;
-    retry_buddy_release;
-    retry_buddy_coalesce;
-    retry_span_reserve;
-    retry_desc_spill;
-    retry_desc_steal;
+  type heap = {
+    gid : int;  (* sc * nheaps + h *)
+    sc : int;
+    active : int Rt.atomic;  (* packed Active_word, 0 = NULL *)
+    partial : int Rt.atomic;  (* descriptor id, 0 = none *)
   }
 
-let bump t arr = arr.(Rt.self t.rt) <- arr.(Rt.self t.rt) + 1
+  type t = {
+    rt : Rt.t;
+    cfg : Cfg.t;
+    store : Store.t;
+    classes : Sc.t;
+    nheaps_ : int;
+    heaps : heap array array;  (* [size class].[processor heap] *)
+    lists : Partial_list.t array;  (* per size class *)
+    table : Descriptor.table;
+    pool : Desc_pool.t;
+    sbc : Sb_cache.t;  (* warm EMPTY-superblock cache, DESIGN.md §14 *)
+    pm : Pm.t option;  (* span reservoir + buddy backend, DESIGN.md §15 *)
+    mallocs : int array;  (* striped per-thread op counters *)
+    frees : int array;
+    (* CAS-retry counters per contention site (striped per thread):
+       quantifies where interference lands, cf. the paper's §4.2.3
+       discussion of overlapping read-modify-write segments. *)
+    retry_reserve : int array;
+    retry_pop : int array;
+    retry_free : int array;
+    retry_update_active : int array;
+    retry_partial_slot : int array;
+    retry_park : int array;
+    retry_adopt : int array;
+    retry_buddy_acquire : int array;
+    retry_buddy_release : int array;
+    retry_buddy_coalesce : int array;
+    retry_span_reserve : int array;
+    retry_desc_spill : int array;
+    retry_desc_steal : int array;
+  }
 
-let retry_counts t =
-  let sum a = Array.fold_left ( + ) 0 a in
-  [
-    ("active.reserve", sum t.retry_reserve);
-    ("anchor.pop", sum t.retry_pop);
-    ("anchor.free", sum t.retry_free);
-    ("update_active", sum t.retry_update_active);
-    ("partial.slot", sum t.retry_partial_slot);
-    ("sbc.park", sum t.retry_park);
-    ("sbc.adopt", sum t.retry_adopt);
-    ("buddy.acquire", sum t.retry_buddy_acquire);
-    ("buddy.release", sum t.retry_buddy_release);
-    ("buddy.coalesce", sum t.retry_buddy_coalesce);
-    ("span.reserve", sum t.retry_span_reserve);
-    ("desc.spill", sum t.retry_desc_spill);
-    ("desc.steal", sum t.retry_desc_steal);
-  ]
+  let retry_sites =
+    [ "active.reserve"; "anchor.pop"; "anchor.free"; "update_active";
+      "partial.slot"; "sbc.park"; "sbc.adopt"; "buddy.acquire";
+      "buddy.release"; "buddy.coalesce"; "span.reserve"; "desc.spill";
+      "desc.steal" ]
 
-let rt t = t.rt
-let store t = t.store
-let sb_cache t = t.sbc
-let page_manager t = t.pm
+  let name = "new"
 
-(* Superblock backing: with the page manager on, superblocks are carved
-   out of reserved spans (no syscall) and released back to the owning
-   span's buddy; the store's mmap/munmap path serves only the
-   [page_manager:false] configuration and reservoir exhaustion. A
-   released superblock routes by ownership — [Pm.free] recognizes span
-   extents by region, so store-mapped superblocks (including any
-   allocated before the reservoir filled) still unmap correctly. *)
-let alloc_sb t =
-  match t.pm with
-  | Some pm -> (
-      match Pm.alloc pm ~len:t.cfg.sbsize with
-      | Some addr -> addr
-      | None -> Store.alloc_superblock t.store)
-  | None -> Store.alloc_superblock t.store
-
-let release_sb t sb =
-  match t.pm with
-  | Some pm when Pm.free pm sb ~len:t.cfg.sbsize -> ()
-  | _ -> Store.free_superblock t.store sb
-let size_classes t = t.classes
-let nheaps t = t.nheaps_
-let descriptor_table t = t.table
-let desc_pool t = t.pool
-
-let heap_of_gid t gid = t.heaps.(gid / t.nheaps_).(gid mod t.nheaps_)
-let my_heap t sc = t.heaps.(sc).(Rt.self t.rt mod t.nheaps_)
-
-(* ------------------------------------------------------------------ *)
-(* HeapPutPartial / HeapGetPartial / RemoveEmptyDesc (Figs. 4 & 6). *)
-
-let heap_put_partial t desc =
-  let heap = heap_of_gid t desc.Descriptor.heap_gid in
-  let b = Backoff.create t.rt in
-  let rec swap () =
-    let prev = Rt.Atomic.get heap.partial in
-    Rt.label t.rt Labels.free_put_partial;
-    if Rt.Atomic.compare_and_set heap.partial prev desc.Descriptor.id then prev
-    else begin
-      bump t t.retry_partial_slot;
-      Backoff.once b;
-      swap ()
-    end
-  in
-  let prev = swap () in
-  if prev <> 0 then
-    Partial_list.put t.lists.(heap.sc) (Descriptor.get t.table prev)
-
-(* Release an EMPTY descriptor whose last reference the caller just
-   removed — the Desc_pool.retire precondition, which is exactly the
-   exclusivity Sb_cache.park requires. With the warm cache enabled the
-   superblock is still mapped here (finish_push skips the unmap, below),
-   so the whole descriptor — bytes, intact free list, anchor tag — parks
-   on the size-class cache; a refused park (watermark) genuinely unmaps
-   and retires, keeping the paper's space accounting honest. *)
-let release_empty t desc =
-  if Sb_cache.enabled t.sbc && desc.Descriptor.sb <> Addr.null then begin
-    let sc = desc.Descriptor.heap_gid / t.nheaps_ in
-    if Sb_cache.park t.sbc ~sc desc then
-      Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
-    else begin
-      release_sb t desc.Descriptor.sb;
-      desc.Descriptor.sb <- Addr.null;
-      Desc_pool.retire t.pool desc
-    end
-  end
-  else Desc_pool.retire t.pool desc
-
-let heap_get_partial t heap =
-  let rec go () =
-    let id = Rt.Atomic.get heap.partial in
-    if id = 0 then Partial_list.get t.lists.(heap.sc)
-    else begin
-      Rt.label t.rt Labels.hgp_slot_cas;
-      if Rt.Atomic.compare_and_set heap.partial id 0 then
-        Some (Descriptor.get t.table id)
-      else go ()
-    end
-  in
-  go ()
-
-let remove_empty_desc t heap desc =
-  Rt.label t.rt Labels.red_slot_cas;
-  if Rt.Atomic.compare_and_set heap.partial desc.Descriptor.id 0 then begin
-    (* Guard against the (astronomically narrow) slot ABA the paper's
-       pseudocode leaves open: between our EMPTY transition and this CAS,
-       the descriptor could have been retired by a ListRemoveEmptyDesc,
-       reused for a fresh superblock, gone PARTIAL again and landed back
-       in this very slot. Retiring it then would corrupt its new life, so
-       re-validate the state and reinsert if it is alive. *)
-    if
-      Anchor.state (Rt.Atomic.get desc.Descriptor.anchor) = Anchor.Empty
-    then release_empty t desc
-    else heap_put_partial t desc
-  end
-  else
-    Partial_list.remove_empty t.lists.(heap.sc)
-      ~retire:(fun d -> release_empty t d)
-
-(* ------------------------------------------------------------------ *)
-(* UpdateActive (Fig. 4). *)
-
-let update_active t heap desc morecredits =
-  let newactive =
-    Active_word.make ~desc_id:desc.Descriptor.id ~credits:(morecredits - 1)
-  in
-  Rt.label t.rt Labels.ua_install;
-  (* line 3 *)
-  if Rt.Atomic.compare_and_set heap.active Active_word.null newactive then ()
-  else begin
-    (* Someone installed another active superblock: return the credits to
-       the anchor and make the superblock PARTIAL (lines 4-8). *)
-    let b = Backoff.create t.rt in
-    let rec return_credits () =
-      let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
-      let newanchor =
-        Anchor.set_state
-          (Anchor.set_count oldanchor (Anchor.count oldanchor + morecredits))
-          Anchor.Partial
-      in
-      Rt.label t.rt Labels.ua_credits_cas;
-      if
-        not
-          (Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor
-             newanchor)
-      then begin
-        bump t t.retry_update_active;
-        Backoff.once b;
-        return_credits ()
-      end
+  let create rt (cfg : Cfg.t) =
+    let classes = Sc.make ~sbsize:cfg.sbsize () in
+    let nheaps = Cfg.resolve_nheaps cfg ~num_cpus:(Rt.num_cpus rt) in
+    let store =
+      Store.create rt ~capacity:cfg.store_capacity ~sbsize:cfg.sbsize
+        ~hyperblocks:cfg.hyperblocks ()
     in
-    return_credits ();
-    Rt.obs_event t.rt Rt.Obs.Transition "sb.active->partial";
-    Rt.label t.rt Labels.ua_return_credits;
-    heap_put_partial t desc
-  end
-
-(* ------------------------------------------------------------------ *)
-(* The in-superblock pop shared by MallocFromActive (lines 7-18) and
-   MallocFromPartial (lines 11-15). [on_anchor] lets the active variant
-   fold its credit/state bookkeeping into the same CAS. *)
-
-let clamp_index next = next land Anchor.max_count
-
-(* The paper's pop CAS bumps the anchor tag to defeat ABA on the
-   in-superblock free list. [anchor_tag = false] (check subsystem's
-   planted bug ONLY) omits the bump, reopening exactly the interleaving
-   the tag exists to kill; the schedule explorer must find it. *)
-let pop_tag t a = if t.cfg.anchor_tag then Anchor.incr_tag a else a
-
-let pop_block t (desc : Descriptor.t) ~label ~on_anchor =
-  let b = Backoff.create t.rt in
-  let rec go () =
-    let oldanchor = Rt.Atomic.get desc.anchor in
-    let addr = desc.sb + (Anchor.avail oldanchor * desc.sz) in
-    (* line 10: may read garbage when racing; the tag CAS rejects it.
-       [clamp_index] only keeps the value representable. *)
-    let next = Store.read_word ~racy:true t.store addr in
-    let newanchor =
-      pop_tag t (Anchor.set_avail oldanchor (clamp_index next))
+    let table = Descriptor.create_table rt ~capacity:(2 * cfg.store_capacity) in
+    let stripe arr () = arr.(Rt.self rt) <- arr.(Rt.self rt) + 1 in
+    let retry_desc_spill = Array.make Rt.max_threads 0 in
+    let retry_desc_steal = Array.make Rt.max_threads 0 in
+    let pool =
+      Desc_pool.create rt table ~kind:cfg.desc_pool
+        ?scan_threshold:
+          (if cfg.desc_scan_threshold > 0 then Some cfg.desc_scan_threshold
+           else None)
+        ~on_spill_retry:(stripe retry_desc_spill)
+        ~on_steal_retry:(stripe retry_desc_steal) ()
     in
-    let newanchor, extra = on_anchor ~oldanchor ~newanchor in
-    Rt.label t.rt label;
-    if Rt.Atomic.compare_and_set desc.anchor oldanchor newanchor then
-      (addr, oldanchor, extra)
-    else begin
-      bump t t.retry_pop;
-      Backoff.once b;
-      go ()
-    end
-  in
-  go ()
-
-let finish_block t (desc : Descriptor.t) addr =
-  (* line 21: store the descriptor in the block prefix. *)
-  Store.write_word t.store addr (Prefix.small ~desc_id:desc.id);
-  addr + Prefix.prefix_bytes
-
-(* ------------------------------------------------------------------ *)
-(* MallocFromActive (Fig. 4). *)
-
-let malloc_from_active t heap =
-  let b = Backoff.create t.rt in
-  (* First step: reserve a block (lines 1-6). *)
-  let rec reserve () =
-    let oldactive = Rt.Atomic.get heap.active in
-    if Active_word.is_null oldactive then None
-    else begin
-      let newactive =
-        if Active_word.credits oldactive = 0 then Active_word.null
-        else Active_word.dec_credits oldactive
-      in
-      Rt.label t.rt Labels.ma_read_active;
-      if Rt.Atomic.compare_and_set heap.active oldactive newactive then
-        Some oldactive
-      else begin
-        bump t t.retry_reserve;
-        Backoff.once b;
-        reserve ()
-      end
-    end
-  in
-  match reserve () with
-  | None -> None
-  | Some oldactive ->
-      Rt.label t.rt Labels.ma_reserved;
-      let desc = Descriptor.get t.table (Active_word.desc_id oldactive) in
-      let took_last = Active_word.credits oldactive = 0 in
-      (* Second step: pop the reserved block (lines 7-18). *)
-      let on_anchor ~oldanchor ~newanchor =
-        if took_last then
-          if Anchor.count oldanchor = 0 then
-            (* line 15: out of blocks entirely. *)
-            (Anchor.set_state newanchor Anchor.Full, 0)
-          else begin
-            (* lines 16-17: grab more credits for UpdateActive. *)
-            let morecredits =
-              min (Anchor.count oldanchor) t.cfg.maxcredits
-            in
-            ( Anchor.set_count newanchor
-                (Anchor.count oldanchor - morecredits),
-              morecredits )
-          end
-        else (newanchor, 0)
-      in
-      let addr, oldanchor, morecredits =
-        pop_block t desc ~label:Labels.ma_pop_cas ~on_anchor
-      in
-      Rt.label t.rt Labels.ma_popped;
-      (* lines 19-20 *)
-      if took_last then
-        if Anchor.count oldanchor > 0 then
-          update_active t heap desc morecredits
-        else Rt.obs_event t.rt Rt.Obs.Transition "sb.active->full";
-      Some (finish_block t desc addr)
-
-(* ------------------------------------------------------------------ *)
-(* MallocFromPartial (Fig. 4). *)
-
-let rec malloc_from_partial t heap =
-  match heap_get_partial t heap with
-  | None -> None
-  | Some desc -> (
-      Rt.label t.rt Labels.mp_got_partial;
-      (* mm-sa: allow write-before-publish: the reserve CAS below only
-         moves anchor credits; it publishes no block memory. heap_gid is
-         read by remote frees that synchronize through this descriptor's
-         anchor anyway, and the CAS itself orders the store. Explicit
-         fences are reserved for link words that remote pops read with
-         racy loads (flush_group, hazard_refill). *)
-      desc.Descriptor.heap_gid <- heap.gid;
-      (* line 3 *)
-      (* Reserve blocks (lines 4-10). *)
-      let b = Backoff.create t.rt in
-      let rec reserve () =
-        let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
-        if Anchor.state oldanchor = Anchor.Empty then None
-        else begin
-          (* state must be PARTIAL and count > 0 here. *)
-          let count = Anchor.count oldanchor in
-          let morecredits = min (count - 1) t.cfg.maxcredits in
-          let newanchor =
-            Anchor.set_state
-              (Anchor.set_count oldanchor (count - morecredits - 1))
-              (if morecredits > 0 then Anchor.Active else Anchor.Full)
-          in
-          Rt.label t.rt Labels.mp_reserve_cas;
-          if
-            Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor
-              newanchor
-          then Some morecredits
-          else begin
-            bump t t.retry_reserve;
-            Backoff.once b;
-            reserve ()
-          end
-        end
-      in
-      match reserve () with
-      | None ->
-          (* lines 5-6: became EMPTY under us — release and retry. *)
-          release_empty t desc;
-          malloc_from_partial t heap
-      | Some morecredits ->
-          Rt.obs_event t.rt Rt.Obs.Transition
-            (if morecredits > 0 then "sb.partial->active"
-             else "sb.partial->full");
-          (* Pop the reserved block (lines 11-15). *)
-          let addr, _, () =
-            pop_block t desc ~label:Labels.mp_pop_cas
-              ~on_anchor:(fun ~oldanchor:_ ~newanchor -> (newanchor, ()))
-          in
-          (* lines 16-17 *)
-          if morecredits > 0 then update_active t heap desc morecredits;
-          Some (finish_block t desc addr))
-
-(* ------------------------------------------------------------------ *)
-(* MallocFromNewSB (Fig. 4), preceded by warm adoption (DESIGN.md §14). *)
-
-(* Adopt a parked EMPTY superblock instead of mapping a fresh one. The
-   tag-bumping pop of the cache stack made the descriptor private to us,
-   so the anchor read and the head-link read below are non-racy; the
-   free list survived the park intact (all [maxcount] blocks chained
-   from [avail]), so the whole of Fig. 4's line 2-3 work — the mmap and
-   the O(maxcount) free-list initialization — is skipped. The anchor
-   install continues the descriptor's own tag sequence, so a stale CAS
-   from the superblock's previous life still fails. *)
-let adopt_parked t heap =
-  match Sb_cache.adopt t.sbc ~sc:heap.sc with
-  | None -> None
-  | Some desc ->
-      desc.Descriptor.heap_gid <- heap.gid;
-      let maxcount = desc.Descriptor.maxcount in
-      let a0 = Rt.Atomic.get desc.Descriptor.anchor in
-      let avail0 = Anchor.avail a0 in
-      let head = desc.Descriptor.sb + (avail0 * desc.Descriptor.sz) in
-      let next = clamp_index (Store.read_word t.store head) in
-      (* Same credits arithmetic as the fresh-superblock path below. *)
-      let credits = min (maxcount - 1) t.cfg.maxcredits - 1 in
-      let newactive = Active_word.make ~desc_id:desc.Descriptor.id ~credits in
-      Rt.Atomic.set desc.Descriptor.anchor
-        (Anchor.make ~avail:next
-           ~count:(maxcount - 1 - (credits + 1))
-           ~state:Anchor.Active ~tag:(Anchor.tag a0 + 1));
-      Rt.fence t.rt;
-      Rt.label t.rt Labels.mnsb_install;
-      if Rt.Atomic.compare_and_set heap.active Active_word.null newactive
-      then begin
-        Rt.obs_event t.rt Rt.Obs.Transition "sb.cached->active";
-        Some (finish_block t desc head)
-      end
-      else begin
-        (* Lost the install race: nothing was handed out, the links are
-           untouched — restore the parked EMPTY anchor (tag moves
-           forward, never back) and re-park. *)
-        Rt.Atomic.set desc.Descriptor.anchor
-          (Anchor.make ~avail:avail0 ~count:(maxcount - 1)
-             ~state:Anchor.Empty ~tag:(Anchor.tag a0 + 2));
-        if Sb_cache.park t.sbc ~sc:heap.sc desc then
-          Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
-        else begin
-          release_sb t desc.Descriptor.sb;
-          desc.Descriptor.sb <- Addr.null;
-          Desc_pool.retire t.pool desc
-        end;
-        None
-      end
-
-let malloc_from_new_sb_fresh t heap =
-  let desc = Desc_pool.alloc t.pool in
-  (* line 1 *)
-  let sz = Sc.block_size t.classes heap.sc in
-  let maxcount =
-    min (Sc.blocks_per_superblock t.classes heap.sc) Anchor.max_count
-  in
-  let sb = alloc_sb t in
-  (* line 2 *)
-  desc.Descriptor.sb <- sb;
-  desc.Descriptor.heap_gid <- heap.gid;
-  desc.Descriptor.sz <- sz;
-  desc.Descriptor.maxcount <- maxcount;
-  Store.init_free_list ~limit:t.cfg.sbsize t.store sb ~sz ~maxcount;
-  (* line 3 *)
-  (* line 9: newactive.credits = min(maxcount-1, MAXCREDITS) - 1 *)
-  let credits = min (maxcount - 1) t.cfg.maxcredits - 1 in
-  let newactive = Active_word.make ~desc_id:desc.Descriptor.id ~credits in
-  (* lines 5, 10, 11 — the anchor keeps its tag across descriptor reuse,
-     preserving the ABA argument over the descriptor's whole history. *)
-  let oldtag = Anchor.tag (Rt.Atomic.get desc.Descriptor.anchor) in
-  Rt.Atomic.set desc.Descriptor.anchor
-    (Anchor.make ~avail:1
-       ~count:(maxcount - 1 - (credits + 1))
-       ~state:Anchor.Active ~tag:(oldtag + 1));
-  Rt.fence t.rt;
-  (* line 12 *)
-  Rt.label t.rt Labels.mnsb_install;
-  (* line 13 *)
-  if Rt.Atomic.compare_and_set heap.active Active_word.null newactive then begin
-    (* lines 14-15: take block 0. *)
-    Rt.obs_event t.rt Rt.Obs.Transition "sb.new->active";
-    Some (finish_block t desc sb)
-  end
-  else begin
-    (* lines 16-17: another thread won the race; release everything.
-       With the warm cache enabled the just-initialized superblock is a
-       perfect parking candidate — its free list threads all [maxcount]
-       blocks from index 0 and nothing was handed out — so park it
-       instead of throwing the mmap and free-list work away. *)
-    let parked =
-      Sb_cache.enabled t.sbc
-      && begin
-           Rt.Atomic.set desc.Descriptor.anchor
-             (Anchor.make ~avail:0 ~count:(maxcount - 1) ~state:Anchor.Empty
-                ~tag:(oldtag + 2));
-           Sb_cache.park t.sbc ~sc:heap.sc desc
-         end
+    let nclasses = Sc.count classes in
+    let heaps =
+      Array.init nclasses (fun sc ->
+          Array.init nheaps (fun h ->
+              {
+                gid = (sc * nheaps) + h;
+                sc;
+                active = Rt.Atomic.make rt Active_word.null;
+                partial = Rt.Atomic.make rt 0;
+              }))
     in
-    if parked then Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
-    else begin
-      release_sb t sb;
-      Rt.Atomic.set desc.Descriptor.anchor
-        (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:(oldtag + 2));
-      desc.Descriptor.sb <- Addr.null;
-      Desc_pool.retire t.pool desc
-    end;
-    None
-  end
+    let lists =
+      Array.init nclasses (fun _ -> Partial_list.create rt cfg.partial_policy)
+    in
+    let retry_park = Array.make Rt.max_threads 0 in
+    let retry_adopt = Array.make Rt.max_threads 0 in
+    let sbc =
+      Sb_cache.create rt ~depth:cfg.sb_cache_depth ~nclasses ~table
+        ~on_park_retry:(fun () ->
+          retry_park.(Rt.self rt) <- retry_park.(Rt.self rt) + 1)
+        ~on_adopt_retry:(fun () ->
+          retry_adopt.(Rt.self rt) <- retry_adopt.(Rt.self rt) + 1)
+        ()
+    in
+    let retry_buddy_acquire = Array.make Rt.max_threads 0 in
+    let retry_buddy_release = Array.make Rt.max_threads 0 in
+    let retry_buddy_coalesce = Array.make Rt.max_threads 0 in
+    let retry_span_reserve = Array.make Rt.max_threads 0 in
+    let pm =
+      if cfg.page_manager then
+        Some
+          (Pm.create rt store ~span_pages:cfg.span_pages
+             ~on_acquire_retry:(stripe retry_buddy_acquire)
+             ~on_release_retry:(stripe retry_buddy_release)
+             ~on_coalesce_retry:(stripe retry_buddy_coalesce)
+             ~on_span_retry:(stripe retry_span_reserve) ())
+      else None
+    in
+    {
+      rt;
+      cfg;
+      store;
+      classes;
+      nheaps_ = nheaps;
+      heaps;
+      lists;
+      table;
+      pool;
+      sbc;
+      pm;
+      mallocs = Array.make Rt.max_threads 0;
+      frees = Array.make Rt.max_threads 0;
+      retry_reserve = Array.make Rt.max_threads 0;
+      retry_pop = Array.make Rt.max_threads 0;
+      retry_free = Array.make Rt.max_threads 0;
+      retry_update_active = Array.make Rt.max_threads 0;
+      retry_partial_slot = Array.make Rt.max_threads 0;
+      retry_park;
+      retry_adopt;
+      retry_buddy_acquire;
+      retry_buddy_release;
+      retry_buddy_coalesce;
+      retry_span_reserve;
+      retry_desc_spill;
+      retry_desc_steal;
+    }
 
-let malloc_from_new_sb t heap =
-  match adopt_parked t heap with
-  | Some _ as r -> r
-  | None -> malloc_from_new_sb_fresh t heap
+  let bump t arr = arr.(Rt.self t.rt) <- arr.(Rt.self t.rt) + 1
 
-(* ------------------------------------------------------------------ *)
-(* malloc (Fig. 4). *)
+  let retry_counts t =
+    let sum a = Array.fold_left ( + ) 0 a in
+    [
+      ("active.reserve", sum t.retry_reserve);
+      ("anchor.pop", sum t.retry_pop);
+      ("anchor.free", sum t.retry_free);
+      ("update_active", sum t.retry_update_active);
+      ("partial.slot", sum t.retry_partial_slot);
+      ("sbc.park", sum t.retry_park);
+      ("sbc.adopt", sum t.retry_adopt);
+      ("buddy.acquire", sum t.retry_buddy_acquire);
+      ("buddy.release", sum t.retry_buddy_release);
+      ("buddy.coalesce", sum t.retry_buddy_coalesce);
+      ("span.reserve", sum t.retry_span_reserve);
+      ("desc.spill", sum t.retry_desc_spill);
+      ("desc.steal", sum t.retry_desc_steal);
+    ]
 
-(* lines 2-3, rerouted: with the page manager on, large blocks come
-   from a span's buddy (no syscall) and only spill to the store's
-   direct-map path when no span can serve the size. The prefix records
-   the total length either way — [free_large_block] recovers the
-   buddy order from it. *)
-let malloc_large t n =
-  let len = n + Prefix.prefix_bytes in
-  let base =
+  let rt t = t.rt
+  let store t = t.store
+  let sb_cache t = t.sbc
+  let page_manager t = t.pm
+
+  (* Superblock backing: with the page manager on, superblocks are carved
+     out of reserved spans (no syscall) and released back to the owning
+     span's buddy; the store's mmap/munmap path serves only the
+     [page_manager:false] configuration and reservoir exhaustion. A
+     released superblock routes by ownership — [Pm.free] recognizes span
+     extents by region, so store-mapped superblocks (including any
+     allocated before the reservoir filled) still unmap correctly. *)
+  let alloc_sb t =
     match t.pm with
     | Some pm -> (
-        match Pm.alloc pm ~len with
+        match Pm.alloc pm ~len:t.cfg.sbsize with
         | Some addr -> addr
-        | None -> Store.alloc_large t.store ~len)
-    | None -> Store.alloc_large t.store ~len
-  in
-  Store.write_word t.store base (Prefix.large ~total_len:len);
-  base + Prefix.prefix_bytes
+        | None -> Store.alloc_superblock t.store)
+    | None -> Store.alloc_superblock t.store
 
-let free_large_block t base prefix =
-  match t.pm with
-  | Some pm when Pm.free pm base ~len:(Prefix.large_len prefix) -> ()
-  | _ -> Store.free_large t.store base
+  let release_sb t sb =
+    match t.pm with
+    | Some pm when Pm.free pm sb ~len:t.cfg.sbsize -> ()
+    | _ -> Store.free_superblock t.store sb
+  let size_classes t = t.classes
+  let nheaps t = t.nheaps_
+  let descriptor_table t = t.table
+  let desc_pool t = t.pool
 
-let malloc t n =
-  if n < 0 then invalid_arg "Lf_alloc.malloc: negative size";
-  t.mallocs.(Rt.self t.rt) <- t.mallocs.(Rt.self t.rt) + 1;
-  match Sc.class_of_request t.classes n with
-  | None -> malloc_large t n (* lines 2-3 *)
-  | Some sc ->
-      let heap = my_heap t sc in
-      (* line 1 *)
-      let rec attempt () =
-        match malloc_from_active t heap with
-        | Some payload -> payload
-        | None -> (
-            match malloc_from_partial t heap with
-            | Some payload -> payload
-            | None -> (
-                match malloc_from_new_sb t heap with
-                | Some payload -> payload
-                | None -> attempt ()))
-      in
-      attempt ()
+  let heap_of_gid t gid = t.heaps.(gid / t.nheaps_).(gid mod t.nheaps_)
 
-(* ------------------------------------------------------------------ *)
-(* free (Fig. 6). *)
+  (* [heap_at] takes the dense thread id from the caller: [Rt.self] is a
+     domain-local lookup on the real runtime, so the hot entry points
+     resolve it once per operation and thread it through. *)
+  let heap_at t sc tid = t.heaps.(sc).(tid mod t.nheaps_)
+  let my_heap t sc = heap_at t sc (Rt.self t.rt)
 
-(* Post-CAS epilogue shared by the singleton push and the batched flush
-   (flush_group below): release an emptied superblock (lines 19-21) or
-   re-park a formerly FULL one (lines 22-23). *)
-let finish_push t desc = function
-  | _, true, heap_gid ->
-      Rt.obs_event t.rt Rt.Obs.Transition "sb.empty";
-      Rt.label t.rt Labels.free_empty;
-      (* With the warm cache enabled the superblock stays mapped: the
-         thread that later removes the descriptor's last reference parks
-         bytes + free list + anchor together (release_empty), or unmaps
-         there if the cache is full. Unmapping here would tear the
-         superblock away before ownership of the descriptor settles. *)
-      if not (Sb_cache.enabled t.sbc) then release_sb t desc.Descriptor.sb;
-      remove_empty_desc t (heap_of_gid t heap_gid) desc
-  | Anchor.Full, false, _ ->
-      Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
-      heap_put_partial t desc
-  | (Anchor.Active | Anchor.Partial | Anchor.Empty), false, _ -> ()
+  (* ------------------------------------------------------------------ *)
+  (* HeapPutPartial / HeapGetPartial / RemoveEmptyDesc (Figs. 4 & 6). *)
 
-let free_small t base prefix =
-  let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
-  let sb = desc.Descriptor.sb in
-  (* Wild-pointer guard (cheap, two integer checks): the address must be
-     a block boundary of the descriptor's superblock. Catches frees of
-     interior pointers and of addresses never returned by malloc before
-     they can corrupt the anchor. *)
-  let off = base - sb in
-  if
-    off < 0
-    || off >= desc.Descriptor.sz * desc.Descriptor.maxcount
-    || off mod desc.Descriptor.sz <> 0
-  then invalid_arg "Lf_alloc.free: not a block address";
-  let b = Backoff.create t.rt in
-  let rec push () =
-    let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
-    (* line 8: thread the block onto the available list. *)
-    Store.write_word t.store base (Anchor.avail oldanchor);
-    let idx = (base - sb) / desc.Descriptor.sz in
-    (* line 9 *)
-    let with_avail = Anchor.set_avail oldanchor idx in
-    let oldstate = Anchor.state oldanchor in
-    if Anchor.count oldanchor = desc.Descriptor.maxcount - 1 then begin
-      (* lines 12-15: last allocated block — the superblock empties. *)
-      let heap_gid = desc.Descriptor.heap_gid in
-      (* line 13 *)
-      Rt.fence t.rt;
-      (* line 14: instruction fence *)
-      let newanchor = Anchor.set_state with_avail Anchor.Empty in
-      Rt.fence t.rt;
-      (* line 17: memory fence *)
-      Rt.label t.rt Labels.free_cas;
-      if
-        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
-      then (oldstate, true, heap_gid)
+  let heap_put_partial t desc =
+    let heap = heap_of_gid t desc.Descriptor.heap_gid in
+    let b = Backoff.create t.rt in
+    let rec swap () =
+      let prev = Rt.Atomic.get heap.partial in
+      Rt.label t.rt Labels.free_put_partial;
+      if Rt.Atomic.compare_and_set heap.partial prev desc.Descriptor.id then prev
       else begin
-        bump t t.retry_free;
+        bump t t.retry_partial_slot;
         Backoff.once b;
-        push ()
+        swap ()
       end
-    end
-    else begin
-      (* lines 10-11, 16 *)
-      let st = if oldstate = Anchor.Full then Anchor.Partial else oldstate in
-      let newanchor =
-        Anchor.set_count (Anchor.set_state with_avail st)
-          (Anchor.count oldanchor + 1)
-      in
-      Rt.fence t.rt;
-      (* line 17: memory fence *)
-      Rt.label t.rt Labels.free_cas;
-      if
-        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
-      then (oldstate, false, -1)
-      else begin
-        bump t t.retry_free;
-        Backoff.once b;
-        push ()
-      end
-    end
-  in
-  finish_push t desc (push ())
-
-let free t payload =
-  if payload = Addr.null then ()
-  else begin
-    t.frees.(Rt.self t.rt) <- t.frees.(Rt.self t.rt) + 1;
-    (* lines 2-3, extended with aligned-payload resolution *)
-    let base_payload, prefix, _delta =
-      Mm_mem.Alloc_ops.resolve t.store payload
     in
-    let base = base_payload - Prefix.prefix_bytes in
-    if Prefix.is_large prefix then free_large_block t base prefix
-      (* lines 4-5 *)
-    else free_small t base prefix
-  end
+    let prev = swap () in
+    if prev <> 0 then
+      Partial_list.put t.lists.(heap.sc) (Descriptor.get t.table prev)
 
-let usable_size t payload =
-  let _, prefix, delta = Mm_mem.Alloc_ops.resolve t.store payload in
-  let base_usable =
-    if Prefix.is_large prefix then
-      Prefix.large_len prefix - Prefix.prefix_bytes
-    else
-      (Descriptor.get t.table (Prefix.desc_id prefix)).Descriptor.sz
-      - Prefix.prefix_bytes
-  in
-  base_usable - delta
-
-(* ------------------------------------------------------------------ *)
-(* Batched refill / flush — the entry points of the per-thread
-   block-cache frontend (Block_cache, DESIGN.md §13). Not in the
-   paper's figures: they amortize Fig. 4's reservation + pop and
-   Fig. 6's push over up to [cache_batch] blocks while speaking the
-   exact same Active/Anchor protocol, so every shared-structure step
-   below stays lock-free and every CAS window carries its own label. *)
-
-let classify t payload =
-  let base_payload, prefix, _delta = Mm_mem.Alloc_ops.resolve t.store payload in
-  if Prefix.is_large prefix then `Large
-  else begin
-    let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
-    (* Same wild-pointer guard as [free_small], applied before the block
-       can enter a cache and corrupt the anchor much later. *)
-    let off = base_payload - Prefix.prefix_bytes - desc.Descriptor.sb in
-    if
-      off < 0
-      || off >= desc.Descriptor.sz * desc.Descriptor.maxcount
-      || off mod desc.Descriptor.sz <> 0
-    then invalid_arg "Lf_alloc.free: not a block address";
-    let gid = desc.Descriptor.heap_gid in
-    `Small
-      ( base_payload,
-        gid / t.nheaps_,
-        gid mod t.nheaps_ = Rt.self t.rt mod t.nheaps_ )
-  end
-
-let refill_batch t ~sc ~max:want =
-  if want < 1 then invalid_arg "Lf_alloc.refill_batch: max must be >= 1";
-  let heap = my_heap t sc in
-  let b = Backoff.create t.rt in
-  (* One CAS reserves a whole batch: an Active word with c credits
-     entitles its takers to c + 1 pops, so taking
-     take = min want (c + 1) reservations at once just subtracts [take]
-     (emptying the word when take = c + 1), and the free-list-length
-     invariant (length >= count + outstanding reservations) guarantees
-     the batched pop below finds [take] linked blocks. *)
-  let rec reserve () =
-    let oldactive = Rt.Atomic.get heap.active in
-    if Active_word.is_null oldactive then None
-    else begin
-      let credits = Active_word.credits oldactive in
-      let take = min want (credits + 1) in
-      let newactive =
-        if take = credits + 1 then Active_word.null
-        else
-          Active_word.make
-            ~desc_id:(Active_word.desc_id oldactive)
-            ~credits:(credits - take)
-      in
-      Rt.label t.rt Labels.bc_reserve_cas;
-      if Rt.Atomic.compare_and_set heap.active oldactive newactive then
-        Some (oldactive, take)
+  (* Release an EMPTY descriptor whose last reference the caller just
+     removed — the Desc_pool.retire precondition, which is exactly the
+     exclusivity Sb_cache.park requires. With the warm cache enabled the
+     superblock is still mapped here (finish_push skips the unmap, below),
+     so the whole descriptor — bytes, intact free list, anchor tag — parks
+     on the size-class cache; a refused park (watermark) genuinely unmaps
+     and retires, keeping the paper's space accounting honest. *)
+  let release_empty t desc =
+    if Sb_cache.enabled t.sbc && desc.Descriptor.sb <> Addr.null then begin
+      let sc = desc.Descriptor.heap_gid / t.nheaps_ in
+      if Sb_cache.park t.sbc ~sc desc then
+        Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
       else begin
-        bump t t.retry_reserve;
-        Backoff.once b;
-        reserve ()
+        release_sb t desc.Descriptor.sb;
+        desc.Descriptor.sb <- Addr.null;
+        Desc_pool.retire t.pool desc
       end
     end
-  in
-  match reserve () with
-  | None -> []
-  | Some (oldactive, take) ->
-      let desc = Descriptor.get t.table (Active_word.desc_id oldactive) in
-      let took_last = take = Active_word.credits oldactive + 1 in
+    else Desc_pool.retire t.pool desc
+
+  let heap_get_partial t heap =
+    let rec go () =
+      let id = Rt.Atomic.get heap.partial in
+      if id = 0 then Partial_list.get t.lists.(heap.sc)
+      else begin
+        Rt.label t.rt Labels.hgp_slot_cas;
+        if Rt.Atomic.compare_and_set heap.partial id 0 then
+          Some (Descriptor.get t.table id)
+        else go ()
+      end
+    in
+    go ()
+
+  let remove_empty_desc t heap desc =
+    Rt.label t.rt Labels.red_slot_cas;
+    if Rt.Atomic.compare_and_set heap.partial desc.Descriptor.id 0 then begin
+      (* Guard against the (astronomically narrow) slot ABA the paper's
+         pseudocode leaves open: between our EMPTY transition and this CAS,
+         the descriptor could have been retired by a ListRemoveEmptyDesc,
+         reused for a fresh superblock, gone PARTIAL again and landed back
+         in this very slot. Retiring it then would corrupt its new life, so
+         re-validate the state and reinsert if it is alive. *)
+      if
+        Anchor.state (Rt.Atomic.get desc.Descriptor.anchor) = Anchor.Empty
+      then release_empty t desc
+      else heap_put_partial t desc
+    end
+    else
+      Partial_list.remove_empty t.lists.(heap.sc)
+        ~retire:(fun d -> release_empty t d)
+
+  (* ------------------------------------------------------------------ *)
+  (* UpdateActive (Fig. 4). *)
+
+  let update_active t heap desc morecredits =
+    let newactive =
+      Active_word.make ~desc_id:desc.Descriptor.id ~credits:(morecredits - 1)
+    in
+    Rt.label t.rt Labels.ua_install;
+    (* line 3 *)
+    if Rt.Atomic.compare_and_set heap.active Active_word.null newactive then ()
+    else begin
+      (* Someone installed another active superblock: return the credits to
+         the anchor and make the superblock PARTIAL (lines 4-8). *)
       let b = Backoff.create t.rt in
-      (* Pop the whole batch in one anchor CAS: walk [take] links of the
-         in-superblock free list and swing avail past them. Each link
-         read may return garbage when racing — exactly Fig. 4 line 10's
-         racy read, [take] times — and the tag bump in the CAS rejects
-         any walk that observed a mutated list. *)
-      let rec pop () =
+      let rec return_credits () =
         let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
-        let addrs = Array.make take 0 in
-        let idx = ref (Anchor.avail oldanchor) in
-        for i = 0 to take - 1 do
-          let addr = desc.Descriptor.sb + (!idx * desc.Descriptor.sz) in
-          addrs.(i) <- addr;
-          idx := clamp_index (Store.read_word ~racy:true t.store addr)
-        done;
-        let newanchor = pop_tag t (Anchor.set_avail oldanchor !idx) in
-        let newanchor, morecredits =
+        let newanchor =
+          Anchor.set_state
+            (Anchor.set_count oldanchor (Anchor.count oldanchor + morecredits))
+            Anchor.Partial
+        in
+        Rt.label t.rt Labels.ua_credits_cas;
+        if
+          not
+            (Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor
+               newanchor)
+        then begin
+          bump t t.retry_update_active;
+          Backoff.once b;
+          return_credits ()
+        end
+      in
+      return_credits ();
+      Rt.obs_event t.rt Rt.Obs.Transition "sb.active->partial";
+      Rt.label t.rt Labels.ua_return_credits;
+      heap_put_partial t desc
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* The in-superblock pop shared by MallocFromActive (lines 7-18) and
+     MallocFromPartial (lines 11-15). [on_anchor] lets the active variant
+     fold its credit/state bookkeeping into the same CAS. *)
+
+  let clamp_index next = next land Anchor.max_count
+
+  (* The paper's pop CAS bumps the anchor tag to defeat ABA on the
+     in-superblock free list. [anchor_tag = false] (check subsystem's
+     planted bug ONLY) omits the bump, reopening exactly the interleaving
+     the tag exists to kill; the schedule explorer must find it. *)
+  let pop_tag t a = if t.cfg.anchor_tag then Anchor.incr_tag a else a
+
+  let pop_block t (desc : Descriptor.t) ~label ~on_anchor =
+    let rec go spins =
+      let oldanchor = Rt.Atomic.get desc.anchor in
+      let addr = desc.sb + (Anchor.avail oldanchor * desc.sz) in
+      (* line 10: may read garbage when racing; the tag CAS rejects it.
+         [clamp_index] only keeps the value representable. *)
+      let next = Store.read_word ~racy:true t.store addr in
+      let newanchor =
+        pop_tag t (Anchor.set_avail oldanchor (clamp_index next))
+      in
+      let newanchor, extra = on_anchor ~oldanchor ~newanchor in
+      Rt.label t.rt label;
+      if Rt.Atomic.compare_and_set desc.anchor oldanchor newanchor then
+        (addr, oldanchor, extra)
+      else begin
+        bump t t.retry_pop;
+        go (Backoff.spin t.rt spins)
+      end
+    in
+    go Backoff.initial
+
+  let finish_block t (desc : Descriptor.t) addr =
+    (* line 21: store the descriptor in the block prefix. *)
+    Store.write_word t.store addr (Prefix.small ~desc_id:desc.id);
+    addr + Prefix.prefix_bytes
+
+  (* ------------------------------------------------------------------ *)
+  (* MallocFromActive (Fig. 4). *)
+
+  let malloc_from_active t heap =
+    (* First step: reserve a block (lines 1-6). *)
+    let rec reserve spins =
+      let oldactive = Rt.Atomic.get heap.active in
+      if Active_word.is_null oldactive then None
+      else begin
+        let newactive =
+          if Active_word.credits oldactive = 0 then Active_word.null
+          else Active_word.dec_credits oldactive
+        in
+        Rt.label t.rt Labels.ma_read_active;
+        if Rt.Atomic.compare_and_set heap.active oldactive newactive then
+          Some oldactive
+        else begin
+          bump t t.retry_reserve;
+          reserve (Backoff.spin t.rt spins)
+        end
+      end
+    in
+    match reserve Backoff.initial with
+    | None -> None
+    | Some oldactive ->
+        Rt.label t.rt Labels.ma_reserved;
+        let desc = Descriptor.get t.table (Active_word.desc_id oldactive) in
+        let took_last = Active_word.credits oldactive = 0 in
+        (* Second step: pop the reserved block (lines 7-18). *)
+        let on_anchor ~oldanchor ~newanchor =
           if took_last then
             if Anchor.count oldanchor = 0 then
+              (* line 15: out of blocks entirely. *)
               (Anchor.set_state newanchor Anchor.Full, 0)
             else begin
-              let mc = min (Anchor.count oldanchor) t.cfg.maxcredits in
-              (Anchor.set_count newanchor (Anchor.count oldanchor - mc), mc)
+              (* lines 16-17: grab more credits for UpdateActive. *)
+              let morecredits =
+                min (Anchor.count oldanchor) t.cfg.maxcredits
+              in
+              ( Anchor.set_count newanchor
+                  (Anchor.count oldanchor - morecredits),
+                morecredits )
             end
           else (newanchor, 0)
         in
-        Rt.label t.rt Labels.bc_pop_cas;
-        if Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
-        then (addrs, oldanchor, morecredits)
-        else begin
-          bump t t.retry_pop;
-          Backoff.once b;
-          pop ()
-        end
-      in
-      let addrs, oldanchor, morecredits = pop () in
-      if took_last then
-        if Anchor.count oldanchor > 0 then
-          update_active t heap desc morecredits
-        else Rt.obs_event t.rt Rt.Obs.Transition "sb.active->full";
-      Array.to_list (Array.map (fun addr -> finish_block t desc addr) addrs)
+        let addr, oldanchor, morecredits =
+          pop_block t desc ~label:Labels.ma_pop_cas ~on_anchor
+        in
+        Rt.label t.rt Labels.ma_popped;
+        (* lines 19-20 *)
+        if took_last then
+          if Anchor.count oldanchor > 0 then
+            update_active t heap desc morecredits
+          else Rt.obs_event t.rt Rt.Obs.Transition "sb.active->full";
+        Some (finish_block t desc addr)
 
-(* Push a batch of blocks of ONE superblock back in one anchor CAS: the
-   batch is pre-chained through the blocks' link words (first -> ... ->
-   last -> old avail, Fig. 6 line 8 n times) and the CAS adds n to the
-   count, with the same EMPTY / FULL->PARTIAL transitions as
-   [free_small]. [count = maxcount - n] at the CAS means our n blocks
-   were the only allocated ones (so no Active word can reference the
-   descriptor), generalizing the paper's n = 1 emptiness test. *)
-let flush_group t (desc : Descriptor.t) bases =
-  let n = List.length bases in
-  let sb = desc.Descriptor.sb in
-  let b = Backoff.create t.rt in
-  let rec push () =
-    let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
-    let rec chain = function
-      | [] -> ()
-      | [ last ] -> Store.write_word t.store last (Anchor.avail oldanchor)
-      | a :: (next :: _ as rest) ->
-          Store.write_word t.store a ((next - sb) / desc.Descriptor.sz);
-          chain rest
+  (* ------------------------------------------------------------------ *)
+  (* MallocFromPartial (Fig. 4). *)
+
+  let rec malloc_from_partial t heap =
+    match heap_get_partial t heap with
+    | None -> None
+    | Some desc -> (
+        Rt.label t.rt Labels.mp_got_partial;
+        (* mm-sa: allow write-before-publish: the reserve CAS below only
+           moves anchor credits; it publishes no block memory. heap_gid is
+           read by remote frees that synchronize through this descriptor's
+           anchor anyway, and the CAS itself orders the store. Explicit
+           fences are reserved for link words that remote pops read with
+           racy loads (flush_group, hazard_refill). *)
+        desc.Descriptor.heap_gid <- heap.gid;
+        (* line 3 *)
+        (* Reserve blocks (lines 4-10). *)
+        let b = Backoff.create t.rt in
+        let rec reserve () =
+          let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+          if Anchor.state oldanchor = Anchor.Empty then None
+          else begin
+            (* state must be PARTIAL and count > 0 here. *)
+            let count = Anchor.count oldanchor in
+            let morecredits = min (count - 1) t.cfg.maxcredits in
+            let newanchor =
+              Anchor.set_state
+                (Anchor.set_count oldanchor (count - morecredits - 1))
+                (if morecredits > 0 then Anchor.Active else Anchor.Full)
+            in
+            Rt.label t.rt Labels.mp_reserve_cas;
+            if
+              Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor
+                newanchor
+            then Some morecredits
+            else begin
+              bump t t.retry_reserve;
+              Backoff.once b;
+              reserve ()
+            end
+          end
+        in
+        match reserve () with
+        | None ->
+            (* lines 5-6: became EMPTY under us — release and retry. *)
+            release_empty t desc;
+            malloc_from_partial t heap
+        | Some morecredits ->
+            Rt.obs_event t.rt Rt.Obs.Transition
+              (if morecredits > 0 then "sb.partial->active"
+               else "sb.partial->full");
+            (* Pop the reserved block (lines 11-15). *)
+            let addr, _, () =
+              pop_block t desc ~label:Labels.mp_pop_cas
+                ~on_anchor:(fun ~oldanchor:_ ~newanchor -> (newanchor, ()))
+            in
+            (* lines 16-17 *)
+            if morecredits > 0 then update_active t heap desc morecredits;
+            Some (finish_block t desc addr))
+
+  (* ------------------------------------------------------------------ *)
+  (* MallocFromNewSB (Fig. 4), preceded by warm adoption (DESIGN.md §14). *)
+
+  (* Adopt a parked EMPTY superblock instead of mapping a fresh one. The
+     tag-bumping pop of the cache stack made the descriptor private to us,
+     so the anchor read and the head-link read below are non-racy; the
+     free list survived the park intact (all [maxcount] blocks chained
+     from [avail]), so the whole of Fig. 4's line 2-3 work — the mmap and
+     the O(maxcount) free-list initialization — is skipped. The anchor
+     install continues the descriptor's own tag sequence, so a stale CAS
+     from the superblock's previous life still fails. *)
+  let adopt_parked t heap =
+    match Sb_cache.adopt t.sbc ~sc:heap.sc with
+    | None -> None
+    | Some desc ->
+        desc.Descriptor.heap_gid <- heap.gid;
+        let maxcount = desc.Descriptor.maxcount in
+        let a0 = Rt.Atomic.get desc.Descriptor.anchor in
+        let avail0 = Anchor.avail a0 in
+        let head = desc.Descriptor.sb + (avail0 * desc.Descriptor.sz) in
+        let next = clamp_index (Store.read_word t.store head) in
+        (* Same credits arithmetic as the fresh-superblock path below. *)
+        let credits = min (maxcount - 1) t.cfg.maxcredits - 1 in
+        let newactive = Active_word.make ~desc_id:desc.Descriptor.id ~credits in
+        Rt.Atomic.set desc.Descriptor.anchor
+          (Anchor.make ~avail:next
+             ~count:(maxcount - 1 - (credits + 1))
+             ~state:Anchor.Active ~tag:(Anchor.tag a0 + 1));
+        Rt.fence t.rt;
+        Rt.label t.rt Labels.mnsb_install;
+        if Rt.Atomic.compare_and_set heap.active Active_word.null newactive
+        then begin
+          Rt.obs_event t.rt Rt.Obs.Transition "sb.cached->active";
+          Some (finish_block t desc head)
+        end
+        else begin
+          (* Lost the install race: nothing was handed out, the links are
+             untouched — restore the parked EMPTY anchor (tag moves
+             forward, never back) and re-park. *)
+          Rt.Atomic.set desc.Descriptor.anchor
+            (Anchor.make ~avail:avail0 ~count:(maxcount - 1)
+               ~state:Anchor.Empty ~tag:(Anchor.tag a0 + 2));
+          if Sb_cache.park t.sbc ~sc:heap.sc desc then
+            Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
+          else begin
+            release_sb t desc.Descriptor.sb;
+            desc.Descriptor.sb <- Addr.null;
+            Desc_pool.retire t.pool desc
+          end;
+          None
+        end
+
+  let malloc_from_new_sb_fresh t heap =
+    let desc = Desc_pool.alloc t.pool in
+    (* line 1 *)
+    let sz = Sc.block_size t.classes heap.sc in
+    let maxcount =
+      min (Sc.blocks_per_superblock t.classes heap.sc) Anchor.max_count
     in
-    chain bases;
-    let with_avail =
-      Anchor.set_avail oldanchor ((List.hd bases - sb) / desc.Descriptor.sz)
-    in
-    let oldstate = Anchor.state oldanchor in
-    if Anchor.count oldanchor = desc.Descriptor.maxcount - n then begin
-      let heap_gid = desc.Descriptor.heap_gid in
-      Rt.fence t.rt;
-      let newanchor = Anchor.set_state with_avail Anchor.Empty in
-      Rt.fence t.rt;
-      Rt.label t.rt Labels.bc_flush_cas;
-      if
-        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
-      then (oldstate, true, heap_gid)
-      else begin
-        bump t t.retry_free;
-        Backoff.once b;
-        push ()
-      end
+    let sb = alloc_sb t in
+    (* line 2 *)
+    desc.Descriptor.sb <- sb;
+    desc.Descriptor.heap_gid <- heap.gid;
+    desc.Descriptor.sz <- sz;
+    desc.Descriptor.maxcount <- maxcount;
+    Store.init_free_list ~limit:t.cfg.sbsize t.store sb ~sz ~maxcount;
+    (* line 3 *)
+    (* line 9: newactive.credits = min(maxcount-1, MAXCREDITS) - 1 *)
+    let credits = min (maxcount - 1) t.cfg.maxcredits - 1 in
+    let newactive = Active_word.make ~desc_id:desc.Descriptor.id ~credits in
+    (* lines 5, 10, 11 — the anchor keeps its tag across descriptor reuse,
+       preserving the ABA argument over the descriptor's whole history. *)
+    let oldtag = Anchor.tag (Rt.Atomic.get desc.Descriptor.anchor) in
+    Rt.Atomic.set desc.Descriptor.anchor
+      (Anchor.make ~avail:1
+         ~count:(maxcount - 1 - (credits + 1))
+         ~state:Anchor.Active ~tag:(oldtag + 1));
+    Rt.fence t.rt;
+    (* line 12 *)
+    Rt.label t.rt Labels.mnsb_install;
+    (* line 13 *)
+    if Rt.Atomic.compare_and_set heap.active Active_word.null newactive then begin
+      (* lines 14-15: take block 0. *)
+      Rt.obs_event t.rt Rt.Obs.Transition "sb.new->active";
+      Some (finish_block t desc sb)
     end
     else begin
-      let st = if oldstate = Anchor.Full then Anchor.Partial else oldstate in
-      let newanchor =
-        Anchor.set_count (Anchor.set_state with_avail st)
-          (Anchor.count oldanchor + n)
+      (* lines 16-17: another thread won the race; release everything.
+         With the warm cache enabled the just-initialized superblock is a
+         perfect parking candidate — its free list threads all [maxcount]
+         blocks from index 0 and nothing was handed out — so park it
+         instead of throwing the mmap and free-list work away. *)
+      let parked =
+        Sb_cache.enabled t.sbc
+        && begin
+             Rt.Atomic.set desc.Descriptor.anchor
+               (Anchor.make ~avail:0 ~count:(maxcount - 1) ~state:Anchor.Empty
+                  ~tag:(oldtag + 2));
+             Sb_cache.park t.sbc ~sc:heap.sc desc
+           end
       in
-      Rt.fence t.rt;
-      Rt.label t.rt Labels.bc_flush_cas;
-      if
-        Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
-      then (oldstate, false, -1)
+      if parked then Rt.obs_event t.rt Rt.Obs.Transition "sb.empty->cached"
       else begin
-        bump t t.retry_free;
-        Backoff.once b;
-        push ()
-      end
+        release_sb t sb;
+        Rt.Atomic.set desc.Descriptor.anchor
+          (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:(oldtag + 2));
+        desc.Descriptor.sb <- Addr.null;
+        Desc_pool.retire t.pool desc
+      end;
+      None
     end
-  in
-  finish_push t desc (push ())
 
-let flush_batch t payloads =
-  (* Group by descriptor, preserving first-seen order so simulated runs
-     stay deterministic, then push each group with one CAS. *)
-  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
-  let order = ref [] in
-  List.iter
-    (fun payload ->
-      let base = payload - Prefix.prefix_bytes in
-      let prefix = Store.read_word t.store base in
-      if Prefix.is_large prefix then free_large_block t base prefix
+  let malloc_from_new_sb t heap =
+    match adopt_parked t heap with
+    | Some _ as r -> r
+    | None -> malloc_from_new_sb_fresh t heap
+
+  (* ------------------------------------------------------------------ *)
+  (* malloc (Fig. 4). *)
+
+  (* lines 2-3, rerouted: with the page manager on, large blocks come
+     from a span's buddy (no syscall) and only spill to the store's
+     direct-map path when no span can serve the size. The prefix records
+     the total length either way — [free_large_block] recovers the
+     buddy order from it. *)
+  let malloc_large t n =
+    let len = n + Prefix.prefix_bytes in
+    let base =
+      match t.pm with
+      | Some pm -> (
+          match Pm.alloc pm ~len with
+          | Some addr -> addr
+          | None -> Store.alloc_large t.store ~len)
+      | None -> Store.alloc_large t.store ~len
+    in
+    Store.write_word t.store base (Prefix.large ~total_len:len);
+    base + Prefix.prefix_bytes
+
+  let free_large_block t base prefix =
+    match t.pm with
+    | Some pm when Pm.free pm base ~len:(Prefix.large_len prefix) -> ()
+    | _ -> Store.free_large t.store base
+
+  let malloc t n =
+    if n < 0 then invalid_arg "Lf_alloc.malloc: negative size";
+    let tid = Rt.self t.rt in
+    t.mallocs.(tid) <- t.mallocs.(tid) + 1;
+    match Sc.class_of_request t.classes n with
+    | None -> malloc_large t n (* lines 2-3 *)
+    | Some sc ->
+        let heap = heap_at t sc tid in
+        (* line 1 *)
+        let rec attempt () =
+          match malloc_from_active t heap with
+          | Some payload -> payload
+          | None -> (
+              match malloc_from_partial t heap with
+              | Some payload -> payload
+              | None -> (
+                  match malloc_from_new_sb t heap with
+                  | Some payload -> payload
+                  | None -> attempt ()))
+        in
+        attempt ()
+
+  (* ------------------------------------------------------------------ *)
+  (* free (Fig. 6). *)
+
+  (* Post-CAS epilogue shared by the singleton push and the batched flush
+     (flush_group below): release an emptied superblock (lines 19-21) or
+     re-park a formerly FULL one (lines 22-23). *)
+  let finish_push t desc = function
+    | _, true, heap_gid ->
+        Rt.obs_event t.rt Rt.Obs.Transition "sb.empty";
+        Rt.label t.rt Labels.free_empty;
+        (* With the warm cache enabled the superblock stays mapped: the
+           thread that later removes the descriptor's last reference parks
+           bytes + free list + anchor together (release_empty), or unmaps
+           there if the cache is full. Unmapping here would tear the
+           superblock away before ownership of the descriptor settles. *)
+        if not (Sb_cache.enabled t.sbc) then release_sb t desc.Descriptor.sb;
+        remove_empty_desc t (heap_of_gid t heap_gid) desc
+    | Anchor.Full, false, _ ->
+        Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
+        heap_put_partial t desc
+    | (Anchor.Active | Anchor.Partial | Anchor.Empty), false, _ -> ()
+
+  let free_small t base prefix =
+    let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
+    let sb = desc.Descriptor.sb in
+    (* Wild-pointer guard (cheap, one division): the address must be a
+       block boundary of the descriptor's superblock. Catches frees of
+       interior pointers and of addresses never returned by malloc before
+       they can corrupt the anchor. *)
+    let off = base - sb in
+    let idx = off / desc.Descriptor.sz in
+    if
+      off < 0 || idx >= desc.Descriptor.maxcount
+      || idx * desc.Descriptor.sz <> off
+    then invalid_arg "Lf_alloc.free: not a block address";
+    let rec push spins =
+      let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+      (* line 8: thread the block onto the available list. *)
+      Store.write_word t.store base (Anchor.avail oldanchor);
+      (* line 9 *)
+      let with_avail = Anchor.set_avail oldanchor idx in
+      let oldstate = Anchor.state oldanchor in
+      if Anchor.count oldanchor = desc.Descriptor.maxcount - 1 then begin
+        (* lines 12-15: last allocated block — the superblock empties. *)
+        let heap_gid = desc.Descriptor.heap_gid in
+        (* line 13 *)
+        Rt.fence t.rt;
+        (* line 14: instruction fence *)
+        let newanchor = Anchor.set_state with_avail Anchor.Empty in
+        Rt.fence t.rt;
+        (* line 17: memory fence *)
+        Rt.label t.rt Labels.free_cas;
+        if
+          Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+        then (oldstate, true, heap_gid)
+        else begin
+          bump t t.retry_free;
+          push (Backoff.spin t.rt spins)
+        end
+      end
       else begin
-        let id = Prefix.desc_id prefix in
-        match Hashtbl.find_opt groups id with
-        | Some r -> r := base :: !r
-        | None ->
-            Hashtbl.add groups id (ref [ base ]);
-            order := id :: !order
-      end)
-    payloads;
-  List.iter
-    (fun id ->
-      flush_group t (Descriptor.get t.table id) (List.rev !(Hashtbl.find groups id)))
-    (List.rev !order)
-
-let op_counts t =
-  (Array.fold_left ( + ) 0 t.mallocs, Array.fold_left ( + ) 0 t.frees)
-
-(* ------------------------------------------------------------------ *)
-(* Introspection and quiescent invariant checking. *)
-
-let heap_active_desc t ~sc ~heap =
-  let aw = Rt.Atomic.get t.heaps.(sc).(heap).active in
-  if Active_word.is_null aw then None
-  else
-    Some (Descriptor.get t.table (Active_word.desc_id aw), Active_word.credits aw)
-
-let heap_partial_desc t ~sc ~heap =
-  let id = Rt.Atomic.get t.heaps.(sc).(heap).partial in
-  if id = 0 then None else Some (Descriptor.get t.table id)
-
-let partial_list t ~sc = t.lists.(sc)
-
-let pp_heap_summary fmt t =
-  Format.fprintf fmt "lock-free heap: %d size classes x %d processor heaps@,"
-    (Sc.count t.classes) t.nheaps_;
-  let live_by_class = Hashtbl.create 16 in
-  Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
-      let a = Rt.Atomic.get d.Descriptor.anchor in
-      if Anchor.state a <> Anchor.Empty && d.Descriptor.sb <> Addr.null then begin
-        let sc =
-          match Sc.class_of_request t.classes (d.Descriptor.sz - 8) with
-          | Some sc -> sc
-          | None -> -1
+        (* lines 10-11, 16 *)
+        let st = if oldstate = Anchor.Full then Anchor.Partial else oldstate in
+        let newanchor =
+          Anchor.set_count (Anchor.set_state with_avail st)
+            (Anchor.count oldanchor + 1)
         in
-        let live, free =
-          Option.value (Hashtbl.find_opt live_by_class sc) ~default:(0, 0)
+        Rt.fence t.rt;
+        (* line 17: memory fence *)
+        Rt.label t.rt Labels.free_cas;
+        if
+          Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+        then (oldstate, false, -1)
+        else begin
+          bump t t.retry_free;
+          push (Backoff.spin t.rt spins)
+        end
+      end
+    in
+    finish_push t desc (push Backoff.initial)
+
+  let free t payload =
+    if payload = Addr.null then ()
+    else begin
+      let tid = Rt.self t.rt in
+      t.frees.(tid) <- t.frees.(tid) + 1;
+      (* lines 2-3, extended with aligned-payload resolution *)
+      let base_payload, prefix, _delta =
+        Store.resolve t.store payload
+      in
+      let base = base_payload - Prefix.prefix_bytes in
+      if Prefix.is_large prefix then free_large_block t base prefix
+        (* lines 4-5 *)
+      else free_small t base prefix
+    end
+
+  let usable_size t payload =
+    let _, prefix, delta = Store.resolve t.store payload in
+    let base_usable =
+      if Prefix.is_large prefix then
+        Prefix.large_len prefix - Prefix.prefix_bytes
+      else
+        (Descriptor.get t.table (Prefix.desc_id prefix)).Descriptor.sz
+        - Prefix.prefix_bytes
+    in
+    base_usable - delta
+
+  (* ------------------------------------------------------------------ *)
+  (* Batched refill / flush — the entry points of the per-thread
+     block-cache frontend (Block_cache, DESIGN.md §13). Not in the
+     paper's figures: they amortize Fig. 4's reservation + pop and
+     Fig. 6's push over up to [cache_batch] blocks while speaking the
+     exact same Active/Anchor protocol, so every shared-structure step
+     below stays lock-free and every CAS window carries its own label. *)
+
+  let classify t payload =
+    let base_payload, prefix, _delta = Store.resolve t.store payload in
+    if Prefix.is_large prefix then `Large
+    else begin
+      let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
+      (* Same wild-pointer guard as [free_small], applied before the block
+         can enter a cache and corrupt the anchor much later. *)
+      let off = base_payload - Prefix.prefix_bytes - desc.Descriptor.sb in
+      let idx = off / desc.Descriptor.sz in
+      if
+        off < 0 || idx >= desc.Descriptor.maxcount
+        || idx * desc.Descriptor.sz <> off
+      then invalid_arg "Lf_alloc.free: not a block address";
+      let gid = desc.Descriptor.heap_gid in
+      let sc = gid / t.nheaps_ in
+      `Small
+        ( base_payload,
+          sc,
+          gid - (sc * t.nheaps_) = Rt.self t.rt mod t.nheaps_ )
+    end
+
+  let refill_batch t ~sc ~max:want =
+    if want < 1 then invalid_arg "Lf_alloc.refill_batch: max must be >= 1";
+    let heap = my_heap t sc in
+    let b = Backoff.create t.rt in
+    (* One CAS reserves a whole batch: an Active word with c credits
+       entitles its takers to c + 1 pops, so taking
+       take = min want (c + 1) reservations at once just subtracts [take]
+       (emptying the word when take = c + 1), and the free-list-length
+       invariant (length >= count + outstanding reservations) guarantees
+       the batched pop below finds [take] linked blocks. *)
+    let rec reserve () =
+      let oldactive = Rt.Atomic.get heap.active in
+      if Active_word.is_null oldactive then None
+      else begin
+        let credits = Active_word.credits oldactive in
+        let take = min want (credits + 1) in
+        let newactive =
+          if take = credits + 1 then Active_word.null
+          else
+            Active_word.make
+              ~desc_id:(Active_word.desc_id oldactive)
+              ~credits:(credits - take)
         in
-        Hashtbl.replace live_by_class sc (live + 1, free + Anchor.count a)
-      end);
-  Array.iteri
-    (fun sc row ->
-      match Hashtbl.find_opt live_by_class sc with
-      | None -> ()
-      | Some (sbs, free) ->
-          let actives =
-            Array.fold_left
-              (fun n h ->
-                if Active_word.is_null (Rt.Atomic.get h.active) then n
-                else n + 1)
-              0 row
+        Rt.label t.rt Labels.bc_reserve_cas;
+        if Rt.Atomic.compare_and_set heap.active oldactive newactive then
+          Some (oldactive, take)
+        else begin
+          bump t t.retry_reserve;
+          Backoff.once b;
+          reserve ()
+        end
+      end
+    in
+    match reserve () with
+    | None -> []
+    | Some (oldactive, take) ->
+        let desc = Descriptor.get t.table (Active_word.desc_id oldactive) in
+        let took_last = take = Active_word.credits oldactive + 1 in
+        let b = Backoff.create t.rt in
+        (* Pop the whole batch in one anchor CAS: walk [take] links of the
+           in-superblock free list and swing avail past them. Each link
+           read may return garbage when racing — exactly Fig. 4 line 10's
+           racy read, [take] times — and the tag bump in the CAS rejects
+           any walk that observed a mutated list. *)
+        let rec pop () =
+          let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+          let addrs = Array.make take 0 in
+          let idx = ref (Anchor.avail oldanchor) in
+          for i = 0 to take - 1 do
+            let addr = desc.Descriptor.sb + (!idx * desc.Descriptor.sz) in
+            addrs.(i) <- addr;
+            idx := clamp_index (Store.read_word ~racy:true t.store addr)
+          done;
+          let newanchor = pop_tag t (Anchor.set_avail oldanchor !idx) in
+          let newanchor, morecredits =
+            if took_last then
+              if Anchor.count oldanchor = 0 then
+                (Anchor.set_state newanchor Anchor.Full, 0)
+              else begin
+                let mc = min (Anchor.count oldanchor) t.cfg.maxcredits in
+                (Anchor.set_count newanchor (Anchor.count oldanchor - mc), mc)
+              end
+            else (newanchor, 0)
           in
-          let slots =
-            Array.fold_left
-              (fun n h -> if Rt.Atomic.get h.partial = 0 then n else n + 1)
-              0 row
-          in
-          Format.fprintf fmt
-            "  class %2d (%4dB): %3d superblocks, %3d active, %3d partial \
-             slots, %5d listed, %6d unreserved free blocks@,"
-            sc (Sc.block_size t.classes sc) sbs actives slots
-            (Partial_list.length t.lists.(sc))
-            free)
-    t.heaps;
-  let m, f = op_counts t in
-  Format.fprintf fmt "  ops: %d mallocs, %d frees@," m f
+          Rt.label t.rt Labels.bc_pop_cas;
+          if Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+          then (addrs, oldanchor, morecredits)
+          else begin
+            bump t t.retry_pop;
+            Backoff.once b;
+            pop ()
+          end
+        in
+        let addrs, oldanchor, morecredits = pop () in
+        if took_last then
+          if Anchor.count oldanchor > 0 then
+            update_active t heap desc morecredits
+          else Rt.obs_event t.rt Rt.Obs.Transition "sb.active->full";
+        Array.to_list (Array.map (fun addr -> finish_block t desc addr) addrs)
 
-let fail fmt = Format.kasprintf failwith fmt
+  (* Push a batch of blocks of ONE superblock back in one anchor CAS: the
+     batch is pre-chained through the blocks' link words (first -> ... ->
+     last -> old avail, Fig. 6 line 8 n times) and the CAS adds n to the
+     count, with the same EMPTY / FULL->PARTIAL transitions as
+     [free_small]. [count = maxcount - n] at the CAS means our n blocks
+     were the only allocated ones (so no Active word can reference the
+     descriptor), generalizing the paper's n = 1 emptiness test. *)
+  let flush_group t (desc : Descriptor.t) bases =
+    let n = List.length bases in
+    let sb = desc.Descriptor.sb in
+    let rec push spins =
+      let oldanchor = Rt.Atomic.get desc.Descriptor.anchor in
+      let rec chain = function
+        | [] -> ()
+        | [ last ] -> Store.write_word t.store last (Anchor.avail oldanchor)
+        | a :: (next :: _ as rest) ->
+            Store.write_word t.store a ((next - sb) / desc.Descriptor.sz);
+            chain rest
+      in
+      chain bases;
+      let with_avail =
+        Anchor.set_avail oldanchor ((List.hd bases - sb) / desc.Descriptor.sz)
+      in
+      let oldstate = Anchor.state oldanchor in
+      if Anchor.count oldanchor = desc.Descriptor.maxcount - n then begin
+        let heap_gid = desc.Descriptor.heap_gid in
+        Rt.fence t.rt;
+        let newanchor = Anchor.set_state with_avail Anchor.Empty in
+        Rt.fence t.rt;
+        Rt.label t.rt Labels.bc_flush_cas;
+        if
+          Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+        then (oldstate, true, heap_gid)
+        else begin
+          bump t t.retry_free;
+          push (Backoff.spin t.rt spins)
+        end
+      end
+      else begin
+        let st = if oldstate = Anchor.Full then Anchor.Partial else oldstate in
+        let newanchor =
+          Anchor.set_count (Anchor.set_state with_avail st)
+            (Anchor.count oldanchor + n)
+        in
+        Rt.fence t.rt;
+        Rt.label t.rt Labels.bc_flush_cas;
+        if
+          Rt.Atomic.compare_and_set desc.Descriptor.anchor oldanchor newanchor
+        then (oldstate, false, -1)
+        else begin
+          bump t t.retry_free;
+          push (Backoff.spin t.rt spins)
+        end
+      end
+    in
+    finish_push t desc (push Backoff.initial)
 
-let check_invariants t =
-  (* 0. Page-manager conservation: every span's buddy accounts for all
-     of its pages as free or busy. *)
-  Option.iter Pm.check_invariants t.pm;
-  (* 1. Collect every reference to a descriptor and ensure uniqueness. *)
-  let refs : (int, string) Hashtbl.t = Hashtbl.create 64 in
-  let active_reserved : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let add_ref id src =
-    if id <> 0 then
-      match Hashtbl.find_opt refs id with
-      | Some prev -> fail "desc %d referenced from both %s and %s" id prev src
-      | None -> Hashtbl.add refs id src
-  in
-  Array.iteri
-    (fun sc row ->
-      Array.iteri
-        (fun h heap ->
-          let aw = Rt.Atomic.get heap.active in
-          if not (Active_word.is_null aw) then begin
-            let id = Active_word.desc_id aw in
-            add_ref id (Printf.sprintf "Active[%d][%d]" sc h);
-            Hashtbl.replace active_reserved id (Active_word.credits aw + 1)
-          end;
-          add_ref
-            (Rt.Atomic.get heap.partial)
-            (Printf.sprintf "Partial[%d][%d]" sc h))
-        row)
-    t.heaps;
-  Array.iteri
-    (fun sc list ->
-      List.iter
-        (fun d ->
-          add_ref d.Descriptor.id (Printf.sprintf "PartialList[%d]" sc))
-        (Partial_list.to_list list))
-    t.lists;
-  let parked_ids = Hashtbl.create 8 in
-  for sc = 0 to Sc.count t.classes - 1 do
+  let flush_batch t payloads =
+    (* Group by descriptor, preserving first-seen order so simulated runs
+       stay deterministic, then push each group with one CAS. *)
+    let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun payload ->
+        let base = payload - Prefix.prefix_bytes in
+        let prefix = Store.read_word t.store base in
+        if Prefix.is_large prefix then free_large_block t base prefix
+        else begin
+          let id = Prefix.desc_id prefix in
+          match Hashtbl.find_opt groups id with
+          | Some r -> r := base :: !r
+          | None ->
+              Hashtbl.add groups id (ref [ base ]);
+              order := id :: !order
+        end)
+      payloads;
     List.iter
       (fun id ->
-        add_ref id (Printf.sprintf "SbCache[%d]" sc);
-        Hashtbl.replace parked_ids id sc)
-      (Sb_cache.parked t.sbc ~sc)
-  done;
-  (* 2. Per-descriptor structural checks. *)
-  Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
-      let a = Rt.Atomic.get d.Descriptor.anchor in
-      let id = d.Descriptor.id in
-      match Anchor.state a with
-      | Anchor.Empty -> (
-          (* Retired or awaiting removal (it may linger only in a size
-             class partial list) — or parked warm on the superblock
-             cache, in which case its whole free list must be intact:
-             all [maxcount] blocks chained from [avail] with no repeats,
-             ready for adoption without re-initialization. *)
-          (match Hashtbl.find_opt parked_ids id with
-          | None -> ()
-          | Some sc ->
-              if d.Descriptor.sb = Addr.null then
-                fail "parked desc %d without superblock" id;
-              if
-                Sc.block_size t.classes sc <> d.Descriptor.sz
-              then
-                fail "parked desc %d: sz %d does not match class %d" id
-                  d.Descriptor.sz sc;
-              let seen = Array.make d.Descriptor.maxcount false in
-              let idx = ref (Anchor.avail a) in
-              for step = 1 to d.Descriptor.maxcount do
-                if !idx < 0 || !idx >= d.Descriptor.maxcount then
-                  fail "parked desc %d: free-list index %d out of range \
-                        at step %d" id !idx step;
-                if seen.(!idx) then
-                  fail "parked desc %d: free list revisits block %d" id !idx;
-                seen.(!idx) <- true;
-                idx :=
-                  Store.read_word t.store
-                    (d.Descriptor.sb + (!idx * d.Descriptor.sz))
-              done);
-          match Hashtbl.find_opt refs id with
-          | None -> ()
-          | Some src ->
-              if
-                not
-                  ((String.length src > 11
-                   && String.sub src 0 11 = "PartialList")
-                  || (String.length src > 7 && String.sub src 0 7 = "SbCache"))
-              then fail "EMPTY desc %d referenced from %s" id src)
-      | st ->
-          if d.Descriptor.sb = Addr.null then
-            fail "desc %d in state %s without superblock" id
-              (Anchor.state_to_string st);
-          let reserved =
-            Option.value (Hashtbl.find_opt active_reserved id) ~default:0
+        flush_group t (Descriptor.get t.table id) (List.rev !(Hashtbl.find groups id)))
+      (List.rev !order)
+
+  let op_counts t =
+    (Array.fold_left ( + ) 0 t.mallocs, Array.fold_left ( + ) 0 t.frees)
+
+  (* ------------------------------------------------------------------ *)
+  (* Introspection and quiescent invariant checking. *)
+
+  let heap_active_desc t ~sc ~heap =
+    let aw = Rt.Atomic.get t.heaps.(sc).(heap).active in
+    if Active_word.is_null aw then None
+    else
+      Some (Descriptor.get t.table (Active_word.desc_id aw), Active_word.credits aw)
+
+  let heap_partial_desc t ~sc ~heap =
+    let id = Rt.Atomic.get t.heaps.(sc).(heap).partial in
+    if id = 0 then None else Some (Descriptor.get t.table id)
+
+  let partial_list t ~sc = t.lists.(sc)
+
+  let pp_heap_summary fmt t =
+    Format.fprintf fmt "lock-free heap: %d size classes x %d processor heaps@,"
+      (Sc.count t.classes) t.nheaps_;
+    let live_by_class = Hashtbl.create 16 in
+    Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
+        let a = Rt.Atomic.get d.Descriptor.anchor in
+        if Anchor.state a <> Anchor.Empty && d.Descriptor.sb <> Addr.null then begin
+          let sc =
+            match Sc.class_of_request t.classes (d.Descriptor.sz - 8) with
+            | Some sc -> sc
+            | None -> -1
           in
-          (match st with
-          | Anchor.Active ->
-              if reserved = 0 then
-                fail "ACTIVE desc %d not installed in any heap" id
-          | Anchor.Full ->
-              if Anchor.count a <> 0 then fail "FULL desc %d with count>0" id;
-              if Hashtbl.mem refs id then
-                fail "FULL desc %d referenced from %s" id
-                  (Hashtbl.find refs id)
-          | Anchor.Partial ->
-              if Anchor.count a = 0 then fail "PARTIAL desc %d with count=0" id;
-              if reserved > 0 then
-                fail "PARTIAL desc %d installed as an active superblock" id;
-              if not (Hashtbl.mem refs id) then
-                fail "PARTIAL desc %d unreachable" id
-          | Anchor.Empty -> assert false);
-          let free_n = Anchor.count a + reserved in
-          if free_n > d.Descriptor.maxcount then
-            fail "desc %d: %d free blocks > maxcount %d" id free_n
-              d.Descriptor.maxcount;
-          (* Walk the in-superblock free list. *)
-          let seen = Array.make d.Descriptor.maxcount false in
-          let idx = ref (Anchor.avail a) in
-          for step = 1 to free_n do
-            if !idx < 0 || !idx >= d.Descriptor.maxcount then
-              fail "desc %d: free-list index %d out of range at step %d" id
-                !idx step;
-            if seen.(!idx) then
-              fail "desc %d: free list revisits block %d" id !idx;
-            seen.(!idx) <- true;
-            idx :=
-              Store.read_word t.store
-                (d.Descriptor.sb + (!idx * d.Descriptor.sz))
-          done;
-          (* Every block not on the free list is allocated and must carry
-             this descriptor in its prefix. *)
-          for i = 0 to d.Descriptor.maxcount - 1 do
-            if not seen.(i) then begin
-              let p =
+          let live, free =
+            Option.value (Hashtbl.find_opt live_by_class sc) ~default:(0, 0)
+          in
+          Hashtbl.replace live_by_class sc (live + 1, free + Anchor.count a)
+        end);
+    Array.iteri
+      (fun sc row ->
+        match Hashtbl.find_opt live_by_class sc with
+        | None -> ()
+        | Some (sbs, free) ->
+            let actives =
+              Array.fold_left
+                (fun n h ->
+                  if Active_word.is_null (Rt.Atomic.get h.active) then n
+                  else n + 1)
+                0 row
+            in
+            let slots =
+              Array.fold_left
+                (fun n h -> if Rt.Atomic.get h.partial = 0 then n else n + 1)
+                0 row
+            in
+            Format.fprintf fmt
+              "  class %2d (%4dB): %3d superblocks, %3d active, %3d partial \
+               slots, %5d listed, %6d unreserved free blocks@,"
+              sc (Sc.block_size t.classes sc) sbs actives slots
+              (Partial_list.length t.lists.(sc))
+              free)
+      t.heaps;
+    let m, f = op_counts t in
+    Format.fprintf fmt "  ops: %d mallocs, %d frees@," m f
+
+  let fail fmt = Format.kasprintf failwith fmt
+
+  let check_invariants t =
+    (* 0. Page-manager conservation: every span's buddy accounts for all
+       of its pages as free or busy. *)
+    Option.iter Pm.check_invariants t.pm;
+    (* 1. Collect every reference to a descriptor and ensure uniqueness. *)
+    let refs : (int, string) Hashtbl.t = Hashtbl.create 64 in
+    let active_reserved : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let add_ref id src =
+      if id <> 0 then
+        match Hashtbl.find_opt refs id with
+        | Some prev -> fail "desc %d referenced from both %s and %s" id prev src
+        | None -> Hashtbl.add refs id src
+    in
+    Array.iteri
+      (fun sc row ->
+        Array.iteri
+          (fun h heap ->
+            let aw = Rt.Atomic.get heap.active in
+            if not (Active_word.is_null aw) then begin
+              let id = Active_word.desc_id aw in
+              add_ref id (Printf.sprintf "Active[%d][%d]" sc h);
+              Hashtbl.replace active_reserved id (Active_word.credits aw + 1)
+            end;
+            add_ref
+              (Rt.Atomic.get heap.partial)
+              (Printf.sprintf "Partial[%d][%d]" sc h))
+          row)
+      t.heaps;
+    Array.iteri
+      (fun sc list ->
+        List.iter
+          (fun d ->
+            add_ref d.Descriptor.id (Printf.sprintf "PartialList[%d]" sc))
+          (Partial_list.to_list list))
+      t.lists;
+    let parked_ids = Hashtbl.create 8 in
+    for sc = 0 to Sc.count t.classes - 1 do
+      List.iter
+        (fun id ->
+          add_ref id (Printf.sprintf "SbCache[%d]" sc);
+          Hashtbl.replace parked_ids id sc)
+        (Sb_cache.parked t.sbc ~sc)
+    done;
+    (* 2. Per-descriptor structural checks. *)
+    Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
+        let a = Rt.Atomic.get d.Descriptor.anchor in
+        let id = d.Descriptor.id in
+        match Anchor.state a with
+        | Anchor.Empty -> (
+            (* Retired or awaiting removal (it may linger only in a size
+               class partial list) — or parked warm on the superblock
+               cache, in which case its whole free list must be intact:
+               all [maxcount] blocks chained from [avail] with no repeats,
+               ready for adoption without re-initialization. *)
+            (match Hashtbl.find_opt parked_ids id with
+            | None -> ()
+            | Some sc ->
+                if d.Descriptor.sb = Addr.null then
+                  fail "parked desc %d without superblock" id;
+                if
+                  Sc.block_size t.classes sc <> d.Descriptor.sz
+                then
+                  fail "parked desc %d: sz %d does not match class %d" id
+                    d.Descriptor.sz sc;
+                let seen = Array.make d.Descriptor.maxcount false in
+                let idx = ref (Anchor.avail a) in
+                for step = 1 to d.Descriptor.maxcount do
+                  if !idx < 0 || !idx >= d.Descriptor.maxcount then
+                    fail "parked desc %d: free-list index %d out of range \
+                          at step %d" id !idx step;
+                  if seen.(!idx) then
+                    fail "parked desc %d: free list revisits block %d" id !idx;
+                  seen.(!idx) <- true;
+                  idx :=
+                    Store.read_word t.store
+                      (d.Descriptor.sb + (!idx * d.Descriptor.sz))
+                done);
+            match Hashtbl.find_opt refs id with
+            | None -> ()
+            | Some src ->
+                if
+                  not
+                    ((String.length src > 11
+                     && String.sub src 0 11 = "PartialList")
+                    || (String.length src > 7 && String.sub src 0 7 = "SbCache"))
+                then fail "EMPTY desc %d referenced from %s" id src)
+        | st ->
+            if d.Descriptor.sb = Addr.null then
+              fail "desc %d in state %s without superblock" id
+                (Anchor.state_to_string st);
+            let reserved =
+              Option.value (Hashtbl.find_opt active_reserved id) ~default:0
+            in
+            (match st with
+            | Anchor.Active ->
+                if reserved = 0 then
+                  fail "ACTIVE desc %d not installed in any heap" id
+            | Anchor.Full ->
+                if Anchor.count a <> 0 then fail "FULL desc %d with count>0" id;
+                if Hashtbl.mem refs id then
+                  fail "FULL desc %d referenced from %s" id
+                    (Hashtbl.find refs id)
+            | Anchor.Partial ->
+                if Anchor.count a = 0 then fail "PARTIAL desc %d with count=0" id;
+                if reserved > 0 then
+                  fail "PARTIAL desc %d installed as an active superblock" id;
+                if not (Hashtbl.mem refs id) then
+                  fail "PARTIAL desc %d unreachable" id
+            | Anchor.Empty -> assert false);
+            let free_n = Anchor.count a + reserved in
+            if free_n > d.Descriptor.maxcount then
+              fail "desc %d: %d free blocks > maxcount %d" id free_n
+                d.Descriptor.maxcount;
+            (* Walk the in-superblock free list. *)
+            let seen = Array.make d.Descriptor.maxcount false in
+            let idx = ref (Anchor.avail a) in
+            for step = 1 to free_n do
+              if !idx < 0 || !idx >= d.Descriptor.maxcount then
+                fail "desc %d: free-list index %d out of range at step %d" id
+                  !idx step;
+              if seen.(!idx) then
+                fail "desc %d: free list revisits block %d" id !idx;
+              seen.(!idx) <- true;
+              idx :=
                 Store.read_word t.store
-                  (d.Descriptor.sb + (i * d.Descriptor.sz))
-              in
-              if Prefix.is_large p || Prefix.desc_id p <> id then
-                fail "desc %d: allocated block %d has corrupt prefix" id i
-            end
-          done)
+                  (d.Descriptor.sb + (!idx * d.Descriptor.sz))
+            done;
+            (* Every block not on the free list is allocated and must carry
+               this descriptor in its prefix. *)
+            for i = 0 to d.Descriptor.maxcount - 1 do
+              if not seen.(i) then begin
+                let p =
+                  Store.read_word t.store
+                    (d.Descriptor.sb + (i * d.Descriptor.sz))
+                in
+                if Prefix.is_large p || Prefix.desc_id p <> id then
+                  fail "desc %d: allocated block %d has corrupt prefix" id i
+              end
+            done)
+
+  module Pack = Mm_mem.Alloc_intf.Pack (Rt)
+
+  let instance ?name:(n = name) vrt t =
+    Pack.make ~name:n ~rt:vrt ~store:(store t) ~malloc:(malloc t)
+      ~free:(free t) ~usable_size:(usable_size t)
+      ~check:(fun () -> check_invariants t)
+end

@@ -1,6 +1,6 @@
 (** The completely lock-free allocator — the paper's contribution (§3).
 
-    Implements [Mm_mem.Alloc_intf.ALLOCATOR]. The structure is exactly the
+    The structure is exactly the
     paper's: per size class, an array of processor heaps; each heap an
     [Active] word (descriptor pointer + credits) and a most-recently-used
     [Partial] slot; per size class a lock-free FIFO of partial
@@ -17,79 +17,117 @@
     every other thread completes its own operations (verified by the
     fault-injection test-suite under the simulated runtime). *)
 
-include Mm_mem.Alloc_intf.ALLOCATOR
+module Make (Rt : Mm_runtime.Runtime_intf.S) : sig
+  type t
 
-(** {2 Introspection beyond the common interface (tests, experiments)} *)
+  val name : string
+  (** Short identifier used in experiment output ("new", "hoard", ...). *)
 
-val size_classes : t -> Mm_mem.Size_class.t
-val nheaps : t -> int
-val descriptor_table : t -> Descriptor.table
-val desc_pool : t -> Desc_pool.t
+  val create : Rt.t -> Mm_mem.Alloc_config.t -> t
+  (** A fresh, independent heap (own store, own descriptors). Thread-safe
+      for concurrent [malloc]/[free] once created. *)
 
-val sb_cache : t -> Sb_cache.t
-(** The warm EMPTY-superblock cache (DESIGN.md §14). Disabled — and the
-    malloc/free paths bit-identical to the paper's figures — when the
-    configuration's [sb_cache_depth] is 0. *)
+  val malloc : t -> int -> int
+  (** [malloc t n] allocates a block with at least [n] payload bytes and
+      returns its payload address (never [Addr.null]; raises
+      [Invalid_argument] on negative [n], [Failure] on substrate
+      exhaustion). [malloc t 0] returns a valid unique block. *)
 
-val page_manager : t -> Mm_pages.Page_manager.t option
-(** The span reservoir + lock-free buddy backend (DESIGN.md §15) large
-    blocks and superblock carving route through, or [None] — and those
-    paths bit-identical to the paper's one-mmap-per-request figures —
-    when the configuration's [page_manager] is [false]. *)
+  val free : t -> int -> unit
+  (** Returns a block to the heap. [free t Addr.null] is a no-op. Freeing
+      an address not obtained from [malloc] (or freeing twice) is a
+      programming error with undefined (but memory-safe) behaviour, as in
+      C. *)
 
-val heap_active_desc : t -> sc:int -> heap:int -> (Descriptor.t * int) option
-(** The active descriptor of the given processor heap and its current
-    credits, if any (quiescent snapshot). *)
+  val usable_size : t -> int -> int
+  (** Payload bytes actually available at an address returned by [malloc]
+      (or [Alloc_ops.aligned_alloc]); at least the requested size. *)
 
-val heap_partial_desc : t -> sc:int -> heap:int -> Descriptor.t option
-val partial_list : t -> sc:int -> Partial_list.t
+  val store : t -> Mm_mem.Store.Make(Rt).t
+  val rt : t -> Rt.t
 
-val op_counts : t -> int * int
-(** Total [(mallocs, frees)] served (striped counters; quiescent). *)
+  val check_invariants : t -> unit
+  (** Validate internal invariants; requires quiescence (no concurrent
+      operations). Raises [Failure] with a diagnostic on violation. *)
 
-val retry_sites : string list
-(** Names of the allocator's CAS contention sites. *)
+  val instance : ?name:string -> Mm_runtime.Rt.t -> t -> Mm_mem.Alloc_intf.instance
+  (** Package one heap as a runtime-erased {!Mm_mem.Alloc_intf.instance}.
+      The value-level runtime handle is taken from the caller (it knows
+      which runtime [Rt] was instantiated with); [?name] overrides the
+      harness name. *)
 
-val pp_heap_summary : Format.formatter -> t -> unit
-(** Human-readable quiescent snapshot of the heap: per size class, the
-    number of live superblocks, installed actives, occupied Partial
-    slots, listed partials and unreserved free blocks. *)
+  (** {2 Introspection beyond the common interface (tests, experiments)} *)
 
-val retry_counts : t -> (string * int) list
-(** Failed-CAS counts per contention site since creation (striped
-    counters; quiescent snapshot). Quantifies where interference lands
-    under a given workload (§4.2.3). *)
+  val size_classes : t -> Mm_mem.Size_class.t
+  val nheaps : t -> int
+  val descriptor_table : t -> Descriptor.Make(Rt).table
+  val desc_pool : t -> Desc_pool.Make(Rt).t
 
-(** {2 Batched operations for the block-cache frontend}
+  val sb_cache : t -> Sb_cache.Make(Rt).t
+  (** The warm EMPTY-superblock cache (DESIGN.md §14). Disabled — and the
+      malloc/free paths bit-identical to the paper's figures — when the
+      configuration's [sb_cache_depth] is 0. *)
 
-    Used by {!Block_cache} (DESIGN.md §13). They are {e not} part of the
-    paper's figures: each amortizes one figure's CAS traffic over a
-    batch while speaking the same Active/Anchor protocol, so they
-    compose with concurrent Fig. 4/6 operations and remain lock-free.
-    Their CAS windows carry the [bc.*] labels. *)
+  val page_manager : t -> Mm_pages.Page_manager.Make(Rt).t option
+  (** The span reservoir + lock-free buddy backend (DESIGN.md §15) large
+      blocks and superblock carving route through, or [None] — and those
+      paths bit-identical to the paper's one-mmap-per-request figures —
+      when the configuration's [page_manager] is [false]. *)
 
-val refill_batch : t -> sc:int -> max:int -> int list
-(** [refill_batch t ~sc ~max] reserves up to [max] blocks of size class
-    [sc] from the calling thread's heap in ONE CAS on the Active word
-    (taking the word's remaining credits, at most [max]), then pops the
-    whole batch off the superblock free list in one tag-bumping anchor
-    CAS. Returns the payload addresses, newest-first; [[]] when the heap
-    has no active superblock (the caller falls back to {!malloc}, which
-    runs the ordinary MallocFromPartial / MallocFromNewSB paths and
-    installs a new Active word). Does not count toward {!op_counts}. *)
+  val heap_active_desc : t -> sc:int -> heap:int -> (Descriptor.Make(Rt).t * int) option
+  (** The active descriptor of the given processor heap and its current
+      credits, if any (quiescent snapshot). *)
 
-val flush_batch : t -> int list -> unit
-(** [flush_batch t payloads] frees a batch of (base) payloads, grouping
-    them by superblock and pushing each group back with one anchor CAS
-    (the amortized Fig. 6 push, including the EMPTY and FULL→PARTIAL
-    transitions). Payloads must be block payloads as returned by
-    {!malloc} / {!refill_batch}. Does not count toward {!op_counts}. *)
+  val heap_partial_desc : t -> sc:int -> heap:int -> Descriptor.Make(Rt).t option
+  val partial_list : t -> sc:int -> Partial_list.Make(Rt).t
 
-val classify : t -> int -> [ `Large | `Small of int * int * bool ]
-(** [classify t payload] resolves [payload] (following an aligned-alloc
-    offset prefix if present) and reports what kind of block it is:
-    [`Large], or [`Small (base_payload, sc, local)] where [local] says
-    the block's superblock belongs to the calling thread's processor
-    heap. Applies {!free}'s wild-pointer guard ([Invalid_argument] on a
-    non-block address). Read-only: the caller decides to cache, buffer
-    or free. *)
+  val op_counts : t -> int * int
+  (** Total [(mallocs, frees)] served (striped counters; quiescent). *)
+
+  val retry_sites : string list
+  (** Names of the allocator's CAS contention sites. *)
+
+  val pp_heap_summary : Format.formatter -> t -> unit
+  (** Human-readable quiescent snapshot of the heap: per size class, the
+      number of live superblocks, installed actives, occupied Partial
+      slots, listed partials and unreserved free blocks. *)
+
+  val retry_counts : t -> (string * int) list
+  (** Failed-CAS counts per contention site since creation (striped
+      counters; quiescent snapshot). Quantifies where interference lands
+      under a given workload (§4.2.3). *)
+
+  (** {2 Batched operations for the block-cache frontend}
+
+      Used by {!Block_cache} (DESIGN.md §13). They are {e not} part of the
+      paper's figures: each amortizes one figure's CAS traffic over a
+      batch while speaking the same Active/Anchor protocol, so they
+      compose with concurrent Fig. 4/6 operations and remain lock-free.
+      Their CAS windows carry the [bc.*] labels. *)
+
+  val refill_batch : t -> sc:int -> max:int -> int list
+  (** [refill_batch t ~sc ~max] reserves up to [max] blocks of size class
+      [sc] from the calling thread's heap in ONE CAS on the Active word
+      (taking the word's remaining credits, at most [max]), then pops the
+      whole batch off the superblock free list in one tag-bumping anchor
+      CAS. Returns the payload addresses, newest-first; [[]] when the heap
+      has no active superblock (the caller falls back to {!malloc}, which
+      runs the ordinary MallocFromPartial / MallocFromNewSB paths and
+      installs a new Active word). Does not count toward {!op_counts}. *)
+
+  val flush_batch : t -> int list -> unit
+  (** [flush_batch t payloads] frees a batch of (base) payloads, grouping
+      them by superblock and pushing each group back with one anchor CAS
+      (the amortized Fig. 6 push, including the EMPTY and FULL→PARTIAL
+      transitions). Payloads must be block payloads as returned by
+      {!malloc} / {!refill_batch}. Does not count toward {!op_counts}. *)
+
+  val classify : t -> int -> [ `Large | `Small of int * int * bool ]
+  (** [classify t payload] resolves [payload] (following an aligned-alloc
+      offset prefix if present) and reports what kind of block it is:
+      [`Large], or [`Small (base_payload, sc, local)] where [local] says
+      the block's superblock belongs to the calling thread's processor
+      heap. Applies {!free}'s wild-pointer guard ([Invalid_argument] on a
+      non-block address). Read-only: the caller decides to cache, buffer
+      or free. *)
+end

@@ -25,48 +25,50 @@
     honest — the cache can hold the mapped footprint above the cache-off
     level by at most [depth * sbsize] per size class in use. *)
 
-type t
+module Make (Rt : Mm_runtime.Runtime_intf.S) : sig
+  type t
 
-type stats = { parks : int; adopts : int; overflows : int }
+  type stats = { parks : int; adopts : int; overflows : int }
 
-val create :
-  Mm_runtime.Rt.t ->
-  depth:int ->
-  nclasses:int ->
-  table:Descriptor.table ->
-  ?on_park_retry:(unit -> unit) ->
-  ?on_adopt_retry:(unit -> unit) ->
-  unit ->
-  t
-(** [depth = 0] disables the cache: {!park} always refuses and {!adopt}
-    always misses, without touching any shared word — the paper-verbatim
-    EMPTY path stays bit-identical. The retry callbacks mirror failed
-    stack CASes into the allocator's striped retry census (labels
-    {!Labels.sbc_park} / {!Labels.sbc_adopt}). *)
+  val create :
+    Rt.t ->
+    depth:int ->
+    nclasses:int ->
+    table:Descriptor.Make(Rt).table ->
+    ?on_park_retry:(unit -> unit) ->
+    ?on_adopt_retry:(unit -> unit) ->
+    unit ->
+    t
+  (** [depth = 0] disables the cache: {!park} always refuses and {!adopt}
+      always misses, without touching any shared word — the paper-verbatim
+      EMPTY path stays bit-identical. The retry callbacks mirror failed
+      stack CASes into the allocator's striped retry census (labels
+      {!Labels.sbc_park} / {!Labels.sbc_adopt}). *)
 
-val enabled : t -> bool
-val depth : t -> int
+  val enabled : t -> bool
+  val depth : t -> int
 
-val park : t -> sc:int -> Descriptor.t -> bool
-(** [park t ~sc d] parks EMPTY descriptor [d] (whose superblock must
-    still be mapped and whose free list must be intact) on size class
-    [sc]'s stack. Returns [false] — caller unmaps and retires — when the
-    cache is disabled or at its watermark. The caller must hold
-    exclusive ownership of [d], exactly as for [Desc_pool.retire]. *)
+  val park : t -> sc:int -> Descriptor.Make(Rt).t -> bool
+  (** [park t ~sc d] parks EMPTY descriptor [d] (whose superblock must
+      still be mapped and whose free list must be intact) on size class
+      [sc]'s stack. Returns [false] — caller unmaps and retires — when the
+      cache is disabled or at its watermark. The caller must hold
+      exclusive ownership of [d], exactly as for [Desc_pool.retire]. *)
 
-val adopt : t -> sc:int -> Descriptor.t option
-(** Pop a parked descriptor, transferring exclusive ownership to the
-    caller. Its anchor is EMPTY and its [avail] chain threads all
-    [maxcount] blocks; its [sz]/[maxcount] match size class [sc]. The
-    anchor's [count] field is NOT normalized — an EMPTY reached through
-    [free] carries [maxcount - 1] but one reached through the batched
-    flush carries [maxcount - n] — so adopters must recompute counts
-    from [maxcount] rather than read the parked value (the install in
-    [Lf_alloc.malloc_from_new_sb] does). *)
+  val adopt : t -> sc:int -> Descriptor.Make(Rt).t option
+  (** Pop a parked descriptor, transferring exclusive ownership to the
+      caller. Its anchor is EMPTY and its [avail] chain threads all
+      [maxcount] blocks; its [sz]/[maxcount] match size class [sc]. The
+      anchor's [count] field is NOT normalized — an EMPTY reached through
+      [free] carries [maxcount - 1] but one reached through the batched
+      flush carries [maxcount - n] — so adopters must recompute counts
+      from [maxcount] rather than read the parked value (the install in
+      [Lf_alloc.malloc_from_new_sb] does). *)
 
-val parked : t -> sc:int -> int list
-(** Top-first descriptor ids currently parked (quiescent; invariant
-    checker and tests). *)
+  val parked : t -> sc:int -> int list
+  (** Top-first descriptor ids currently parked (quiescent; invariant
+      checker and tests). *)
 
-val stats : t -> stats
-(** Striped totals since creation (quiescent snapshot). *)
+  val stats : t -> stats
+  (** Striped totals since creation (quiescent snapshot). *)
+end

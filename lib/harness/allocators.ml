@@ -1,43 +1,49 @@
-open Mm_mem.Alloc_intf
-
 let names = [ "new"; "new-cached"; "hoard"; "ptmalloc"; "libc"; "bw" ]
 
+(* One allocator stack per runtime backend, specialized at compile time
+   (DESIGN.md §18). [make] below picks the instantiation from the
+   value-level runtime handle — the only dispatch left, paid once per
+   heap creation instead of once per operation. Applicative functor
+   semantics keep [Stack(Mm_runtime.Sim_rt).Lf.t] equal to
+   [Mm_core.Lf_alloc.Make(Mm_runtime.Sim_rt).t], so typed clients
+   (lib/check, Traced) interoperate with instances built here. *)
+module Stack (Rt : Mm_runtime.Runtime_intf.S) = struct
+  module Lf = Mm_core.Lf_alloc.Make (Rt)
+  module Bc = Mm_core.Block_cache.Make (Rt)
+  module Bw = Mm_baselines.Bw_alloc.Make (Rt)
+  module Hoard = Mm_baselines.Hoard_alloc.Make (Rt)
+  module Ptmalloc = Mm_baselines.Ptmalloc_alloc.Make (Rt)
+  module Libc = Mm_baselines.Libc_alloc.Make (Rt)
+
+  let make name vrt h cfg =
+    match name with
+    | "new" -> Lf.instance vrt (Lf.create h cfg)
+    | "new-reuse" ->
+        (* The paper allocator over the reuse-in-place descriptor pool
+           (DESIGN.md §17); the name forces Reuse whatever the config
+           says, so "new" and "new-reuse" differ in exactly that one
+           field. Not in [names]: it is an ablation variant (experiment
+           ablation-reclaim), not a comparison allocator. *)
+        Lf.instance vrt
+          (Lf.create h
+             { cfg with Mm_mem.Alloc_config.desc_pool = Mm_mem.Alloc_config.Reuse })
+    | "bw" -> Bw.instance vrt (Bw.create h cfg)
+    | "new-cached" ->
+        (* The paper allocator behind the per-thread block-cache frontend;
+           the name forces the cache on whatever the config says, so
+           "new" and "new-cached" differ in exactly that one bit. *)
+        Bc.instance vrt
+          (Bc.create h { cfg with Mm_mem.Alloc_config.cache = true })
+    | "hoard" -> Hoard.instance vrt (Hoard.create h cfg)
+    | "ptmalloc" -> Ptmalloc.instance vrt (Ptmalloc.create h cfg)
+    | "libc" -> Libc.instance vrt (Libc.create h cfg)
+    | other -> invalid_arg ("Allocators.make: unknown allocator " ^ other)
+end
+
+module Real_stack = Stack (Mm_runtime.Real_rt)
+module Sim_stack = Stack (Mm_runtime.Sim_rt)
+
 let make name rt cfg =
-  match name with
-  | "new" -> Inst ((module Mm_core.Lf_alloc), Mm_core.Lf_alloc.create rt cfg)
-  | "new-reuse" ->
-      (* The paper allocator over the reuse-in-place descriptor pool
-         (DESIGN.md §17); the name forces Reuse whatever the config
-         says, so "new" and "new-reuse" differ in exactly that one
-         field. Not in [names]: it is an ablation variant (experiment
-         ablation-reclaim), not a comparison allocator. *)
-      Inst
-        ( (module Mm_core.Lf_alloc),
-          Mm_core.Lf_alloc.create rt
-            { cfg with Mm_mem.Alloc_config.desc_pool = Mm_mem.Alloc_config.Reuse }
-        )
-  | "bw" ->
-      Inst
-        ( (module Mm_baselines.Bw_alloc),
-          Mm_baselines.Bw_alloc.create rt cfg )
-  | "new-cached" ->
-      (* The paper allocator behind the per-thread block-cache frontend;
-         the name forces the cache on whatever the config says, so
-         "new" and "new-cached" differ in exactly that one bit. *)
-      Inst
-        ( (module Mm_core.Block_cache),
-          Mm_core.Block_cache.create rt
-            { cfg with Mm_mem.Alloc_config.cache = true } )
-  | "hoard" ->
-      Inst
-        ( (module Mm_baselines.Hoard_alloc),
-          Mm_baselines.Hoard_alloc.create rt cfg )
-  | "ptmalloc" ->
-      Inst
-        ( (module Mm_baselines.Ptmalloc_alloc),
-          Mm_baselines.Ptmalloc_alloc.create rt cfg )
-  | "libc" ->
-      Inst
-        ( (module Mm_baselines.Libc_alloc),
-          Mm_baselines.Libc_alloc.create rt cfg )
-  | other -> invalid_arg ("Allocators.make: unknown allocator " ^ other)
+  match Mm_runtime.Rt.sim rt with
+  | None -> Real_stack.make name rt () cfg
+  | Some s -> Sim_stack.make name rt s cfg

@@ -2,12 +2,14 @@ open Mm_runtime
 module Cfg = Mm_mem.Alloc_config
 module W = Mm_workloads
 module Metrics = W.Metrics
+module Locks_real = Mm_baselines.Locks.Make (Mm_runtime.Real_rt)
 
 type mode = Quick | Full
 
 type outcome = {
   id : string;
   title : string;
+  runtime : string;  (* "real" | "simulated" — honest label for JSON *)
   expectation : string;
   lines : string list;
 }
@@ -202,28 +204,61 @@ let real_larson = function
 (* ------------------------------------------------------------------ *)
 (* Scalability figures: speedup over contention-free (t=1) libc. *)
 
+(* Scalability figures run on real domains whenever the host has any
+   parallelism to measure ([Rt.num_cpus Rt.real] > 1, i.e.
+   [Domain.recommended_domain_count] behind the Real runtime); on a
+   single-CPU host they fall back to the deterministic 16-CPU simulated
+   machine. Either way the runtime is labelled honestly in the title
+   and the [runtime] field of the JSON payload. *)
 let figure ~id ~title ~expectation ~workload mode seed =
   let threads = threads_list mode in
-  let base = sim_point ~seed "libc" workload ~threads:1 in
-  let rows =
-    List.map
-      (fun t ->
-        ( string_of_int t,
-          List.map
-            (fun name ->
-              let m = sim_point ~seed name workload ~threads:t in
-              Metrics.speedup m ~baseline:base)
-            allocators ))
-      threads
-  in
-  {
-    id;
-    title;
-    expectation;
-    lines =
-      Render.series ~col_title:"allocator" ~cols:allocators ~row_title:"t"
-        ~rows;
-  }
+  let real_cpus = Rt.num_cpus Rt.real in
+  if real_cpus > 1 then begin
+    let base = real_point "libc" workload ~threads:1 in
+    let rows =
+      List.map
+        (fun t ->
+          ( string_of_int t,
+            List.map
+              (fun name ->
+                let m = real_point name workload ~threads:t in
+                Metrics.speedup m ~baseline:base)
+              allocators ))
+        threads
+    in
+    {
+      id;
+      title = Printf.sprintf "%s (real, %d CPUs)" title real_cpus;
+      runtime = "real";
+      expectation;
+      lines =
+        Render.series ~col_title:"allocator" ~cols:allocators ~row_title:"t"
+          ~rows;
+    }
+  end
+  else begin
+    let base = sim_point ~seed "libc" workload ~threads:1 in
+    let rows =
+      List.map
+        (fun t ->
+          ( string_of_int t,
+            List.map
+              (fun name ->
+                let m = sim_point ~seed name workload ~threads:t in
+                Metrics.speedup m ~baseline:base)
+              allocators ))
+        threads
+    in
+    {
+      id;
+      title = Printf.sprintf "%s (simulated, %d CPUs)" title sim_cpus;
+      runtime = "simulated";
+      expectation;
+      lines =
+        Render.series ~col_title:"allocator" ~cols:allocators ~row_title:"t"
+          ~rows;
+    }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 1 and §4.2.1 latency. *)
@@ -256,6 +291,7 @@ let table1 mode seed =
   in
   {
     id = "table1";
+    runtime = "real";
     title = "Table 1: contention-free speedup over libc malloc (real runtime)";
     expectation =
       "Paper (POWER3/POWER4): New 2.18-2.95, Hoard 1.11-2.37, Ptmalloc \
@@ -278,11 +314,11 @@ let latency mode seed =
     1e9 /. m.Metrics.throughput
   in
   let lock_pair_ns kind =
-    let lock = Mm_baselines.Locks.create Rt.real kind in
+    let lock = Locks_real.create () kind in
     let t0 = Rt.now Rt.real in
     for _ = 1 to pairs do
-      Mm_baselines.Locks.acquire lock;
-      Mm_baselines.Locks.release lock
+      Locks_real.acquire lock;
+      Locks_real.release lock
     done;
     (Rt.now Rt.real -. t0) *. 1e9 /. float_of_int pairs
   in
@@ -299,6 +335,7 @@ let latency mode seed =
   in
   {
     id = "latency";
+    runtime = "real";
     title = "§4.2.1: contention-free pair latency (real runtime, 1 thread)";
     expectation =
       "Paper (POWER4): New pair 282ns vs 165ns for a bare lightweight \
@@ -356,6 +393,7 @@ let space mode seed =
   in
   {
     id = "space";
+    runtime = "simulated";
     title = "§4.2.5: maximum space mapped from the OS (simulated, 16 threads)";
     expectation =
       "Paper: New <= Hoard < Ptmalloc everywhere; Ptmalloc/New ratio 1.16 \
@@ -385,6 +423,7 @@ let uniproc mode seed =
   let single = run_with 1 in
   {
     id = "uniproc";
+    runtime = "real";
     title = "§4.2.4: uniprocessor optimization (single heap, real runtime)";
     expectation =
       "Paper: using one heap (no thread-id lookup across heaps) gained \
@@ -430,6 +469,7 @@ let ablation_partial mode seed =
   in
   {
     id = "ablation-partial";
+    runtime = "simulated";
     title = "§3.2.6 ablation: FIFO vs LIFO size-class partial lists";
     expectation =
       "Paper prefers FIFO to reduce contention and false sharing; both \
@@ -456,6 +496,7 @@ let ablation_desc mode seed =
   in
   {
     id = "ablation-desc";
+    runtime = "simulated";
     title = "Fig. 7 ablation: descriptor freelist ABA prevention";
     expectation =
       "Both schemes are correct; descriptor operations are rare, so \
@@ -523,6 +564,7 @@ let ablation_reclaim mode seed =
   in
   {
     id = "ablation-reclaim";
+    runtime = "simulated";
     title =
       "DESIGN.md §17 ablation: descriptor reclamation (hazard scans vs \
        IBM-tag freelist vs reuse-in-place), traced threadtest, ONE \
@@ -558,6 +600,7 @@ let ablation_credits mode seed =
   in
   {
     id = "ablation-credits";
+    runtime = "simulated";
     title = "§3.2.1 ablation: credits batch size";
     expectation =
       "Few credits force a reservation round-trip through the anchor per \
@@ -589,6 +632,7 @@ let ablation_locks mode seed =
   in
   {
     id = "ablation-locks";
+    runtime = "simulated";
     title = "§4 ablation: baseline lock implementation";
     expectation =
       "Paper: replacing pthread mutexes with lightweight locks cut \
@@ -621,6 +665,7 @@ let ablation_hyper mode seed =
   in
   {
     id = "ablation-hyper";
+    runtime = "simulated";
     title = "§3.2.5 ablation: hyperblock batching of superblock mmaps";
     expectation =
       "Batching superblock allocation into 1MB hyperblocks divides the \
@@ -675,6 +720,7 @@ let ablation_sbcache mode seed =
   in
   {
     id = "ablation-sbcache";
+    runtime = "simulated";
     title =
       "DESIGN.md §14 ablation: warm superblock cache (EMPTY superblocks \
        parked per size class instead of unmapped)";
@@ -724,6 +770,7 @@ let large_alloc mode seed =
   in
   {
     id = "large-alloc";
+    runtime = "simulated";
     title =
       "Extension workload: mixed sizes straddling the large-allocation \
        threshold (simulated, 8 threads)";
@@ -788,6 +835,7 @@ let ablation_pages mode seed =
   in
   {
     id = "ablation-pages";
+    runtime = "simulated";
     title =
       "DESIGN.md §15 ablation: span reservoir + lock-free buddy vs \
        one-mmap-per-request large blocks and superblocks";
@@ -837,6 +885,7 @@ let preempt mode seed =
   in
   {
     id = "preempt";
+    runtime = "simulated";
     title =
       "§1 preemption-tolerance: threads = 2x CPUs (simulated, 4 CPUs, \
        preemptive quanta)";
@@ -888,6 +937,7 @@ let extra_workloads mode seed =
   in
   {
     id = "extra-workloads";
+    runtime = "simulated";
     title =
       "Extension workloads: shbench-style realloc churn and cross-thread \
        trace replay (simulated, 8 threads)";
@@ -942,6 +992,7 @@ let tail_latency mode seed =
   in
   {
     id = "tail-latency";
+    runtime = "simulated";
     title =
       "Robustness: malloc+free pair latency distribution under full \
        contention (simulated cycles, 16 threads)";
@@ -994,6 +1045,7 @@ let contention_sites mode seed =
   in
   {
     id = "contention-sites";
+    runtime = "simulated";
     title =
       "§4.2.3: failed-CAS counts per contention site (lock-free \
        allocator, ONE shared heap, 16 threads)";
@@ -1062,6 +1114,7 @@ let kill mode seed =
   in
   {
     id = "kill";
+    runtime = "simulated";
     title = "§1 availability: kill a thread mid-malloc/free (simulated)";
     expectation =
       "Paper: a lock-free allocator guarantees progress even if threads \
@@ -1172,7 +1225,7 @@ let run_all ~mode ~seed =
   List.map (fun (id, f) -> with_census id f mode seed) experiments
 
 let print_outcome fmt o =
-  Format.fprintf fmt "== %s: %s@." o.id o.title;
+  Format.fprintf fmt "== %s: %s [%s runtime]@." o.id o.title o.runtime;
   Format.fprintf fmt "   paper: %s@." o.expectation;
   List.iter (fun l -> Format.fprintf fmt "   %s@." l) o.lines;
   Format.fprintf fmt "@."

@@ -11,6 +11,11 @@ type mode = Quick | Full
 type outcome = {
   id : string;
   title : string;
+  runtime : string;
+      (** ["real"] or ["simulated"] — which runtime produced the numbers.
+          Scalability figures use real domains whenever the host has more
+          than one CPU and fall back to the 16-CPU simulation otherwise;
+          the label keeps titles and the JSON payload honest either way. *)
   expectation : string;  (** what the paper reports, in one sentence *)
   lines : string list;  (** rendered result table *)
 }

@@ -1,8 +1,8 @@
 open Mm_runtime
 module Cfg = Mm_mem.Alloc_config
 module W = Mm_workloads
-module Lf = Mm_core.Lf_alloc
-module Bc = Mm_core.Block_cache
+module Lf = Mm_core.Lf_alloc.Make (Sim_rt)
+module Bc = Mm_core.Block_cache.Make (Sim_rt)
 module L = Mm_core.Labels
 module Pg = Mm_pages.Pg_labels
 module Obs_agg = Mm_obs.Agg
@@ -49,22 +49,22 @@ let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
   let lf, bc, inst =
     match allocator with
     | "new" ->
-        let t = Lf.create rt cfg in
-        (Some t, None, Mm_mem.Alloc_intf.Inst ((module Lf), t))
+        let t = Lf.create sim cfg in
+        (Some t, None, Lf.instance rt t)
     | "new-reuse" ->
         (* The paper allocator over the reuse-in-place descriptor pool
            (DESIGN.md §17) — same typed handle as "new" so the striped
            retry census (incl. desc.spill/desc.steal) is reported. *)
-        let t = Lf.create rt { cfg with Cfg.desc_pool = Cfg.Reuse } in
-        (Some t, None, Mm_mem.Alloc_intf.Inst ((module Lf), t))
+        let t = Lf.create sim { cfg with Cfg.desc_pool = Cfg.Reuse } in
+        (Some t, None, Lf.instance rt t)
     | "new-tagged" ->
         (* The IBM-tag descriptor-freelist ablation (the paper's Fig. 7
            alternative), traced for the ablation-reclaim comparison. *)
-        let t = Lf.create rt { cfg with Cfg.desc_pool = Cfg.Tagged } in
-        (Some t, None, Mm_mem.Alloc_intf.Inst ((module Lf), t))
+        let t = Lf.create sim { cfg with Cfg.desc_pool = Cfg.Tagged } in
+        (Some t, None, Lf.instance rt t)
     | "new-cached" ->
-        let t = Bc.create rt { cfg with Cfg.cache = true } in
-        (Some (Bc.backend t), Some t, Mm_mem.Alloc_intf.Inst ((module Bc), t))
+        let t = Bc.create sim { cfg with Cfg.cache = true } in
+        (Some (Bc.backend t), Some t, Bc.instance rt t)
     | _ -> (None, None, Allocators.make allocator rt cfg)
   in
   let metric, tracer =

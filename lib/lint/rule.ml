@@ -33,9 +33,10 @@ let describe = function
        the CAS (Figs. 4-7: the overlapping read-modify-write windows the \
        schedule explorer and fault injector interpose at)"
   | Raw_primitive ->
-      "no Stdlib.Atomic, Domain, Mutex or Condition outside lib/runtime \
-       and lib/baselines; everything else goes through Rt so it runs \
-       under both the real and the simulated runtime"
+      "no Stdlib.Atomic, Domain, Mutex or Condition outside the real \
+       runtime backend (lib/runtime/real_rt.ml and rt_base.ml); \
+       everything else — baselines included — is functorized over \
+       RUNTIME so it runs under both the real and the simulated runtime"
   | Blocking_in_lockfree ->
       "no Locks.* reachable from lib/core, lib/lockfree or lib/mem: \
        lock-freedom holds by construction"

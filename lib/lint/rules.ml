@@ -52,9 +52,14 @@ let r1 (src : Source.t) (it : Scan.item) =
                   (path_str a.fn))))
     it.apps
 
-(* R2: raw multicore primitives are confined to lib/runtime (which
-   implements Rt) and lib/baselines (measured as-is). *)
+(* R2: raw multicore primitives are confined to the real runtime
+   backend (real_rt.ml and its base rt_base.ml) — the one place that is
+   allowed to know about OCaml multicore. Everything else, including the
+   rest of lib/runtime and the baseline allocators, goes through an
+   [Rt] instantiation so it runs under both backends. *)
 let raw_roots = [ "Atomic"; "Domain"; "Mutex"; "Condition"; "Thread" ]
+
+let raw_impl_basenames = [ "real_rt.ml"; "rt_base.ml" ]
 
 let is_raw = function
   | root :: _ when List.mem root raw_roots -> true
@@ -69,9 +74,10 @@ let r2 (src : Source.t) (it : Scan.item) =
           (Finding.v ~rule:Rule.Raw_primitive ~file:src.Source.path
              ~line:r.rline ~col:r.rcol
              (Printf.sprintf
-                "raw primitive %s outside lib/runtime and lib/baselines; go \
-                 through Rt so the code also runs under the simulated \
-                 runtime"
+                "raw primitive %s outside the real runtime backend \
+                 (lib/runtime/real_rt.ml, rt_base.ml); go through a \
+                 RUNTIME instantiation so the code also runs under the \
+                 simulated runtime"
                 (path_str r.rpath)))
       else None)
     it.refs
@@ -247,7 +253,8 @@ let check_file (src : Source.t) =
   let lockfree = Source.in_lockfree_scope section in
   let raw_allowed =
     match section with
-    | Source.Runtime | Source.Baselines -> true
+    | Source.Runtime ->
+        List.mem (Filename.basename src.Source.path) raw_impl_basenames
     | _ -> false
   in
   let sim_control_allowed =

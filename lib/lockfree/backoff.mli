@@ -4,14 +4,27 @@
     coherence traffic on the contended line. Used by every retry loop in
     the allocator and the lock substrate. *)
 
-type t
+module Make (Rt : Mm_runtime.Runtime_intf.S) : sig
+  type t
 
-val create : ?min_spins:int -> ?max_spins:int -> Mm_runtime.Rt.t -> t
-(** Fresh backoff state (not thread-safe: one per thread per loop).
-    Defaults: 1 to 256 spins. *)
+  val create : ?min_spins:int -> ?max_spins:int -> Rt.t -> t
+  (** Fresh backoff state (not thread-safe: one per thread per loop).
+      Defaults: 1 to 256 spins. *)
 
-val once : t -> unit
-(** Spin for the current delay and double it (saturating). *)
+  val once : t -> unit
+  (** Spin for the current delay and double it (saturating). *)
 
-val reset : t -> unit
-(** Return the delay to its minimum (call after a successful operation). *)
+  val reset : t -> unit
+  (** Return the delay to its minimum (call after a successful operation). *)
+
+  val initial : int
+  (** Allocation-free variant for hot retry loops: thread the spin count
+      through the loop as a plain [int] seeded with [initial] instead of
+      allocating a [t] per operation. Spin-for-spin identical to a
+      default [create]/[once] sequence, so swapping one for the other
+      cannot perturb a simulated schedule. *)
+
+  val spin : Rt.t -> int -> int
+  (** [spin rt spins] spins for [spins] and returns the next (doubled,
+      saturating) count — the [once] step over the unboxed state. *)
+end

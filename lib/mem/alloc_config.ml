@@ -90,5 +90,5 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     span_pages;
   }
 
-let effective_nheaps t rt =
-  if t.nheaps > 0 then t.nheaps else max 1 (Mm_runtime.Rt.num_cpus rt)
+let resolve_nheaps t ~num_cpus =
+  if t.nheaps > 0 then t.nheaps else max 1 num_cpus

@@ -107,5 +107,6 @@ val make :
   t
 (** [default] with overrides; validates ranges. *)
 
-val effective_nheaps : t -> Mm_runtime.Rt.t -> int
-(** Resolves [nheaps = 0] to the runtime's CPU count. *)
+val resolve_nheaps : t -> num_cpus:int -> int
+(** Resolves [nheaps = 0] to the given CPU count (the caller asks its
+    runtime — the config itself is runtime-agnostic). *)

@@ -1,55 +1,74 @@
-(** The interface every allocator in this repository implements — the
-    lock-free allocator of the paper ([Mm_core.Lf_alloc]) and the three
-    baselines it is evaluated against ([Mm_baselines.Libc_alloc],
-    [Mm_baselines.Hoard_alloc], [Mm_baselines.Ptmalloc_alloc]).
+(** The runtime-erased allocator instance — what workloads, experiments
+    and tests pass around.
+
+    Since the allocator stack is functorized over
+    {!Mm_runtime.Runtime_intf.S} (DESIGN.md §18), an allocator's store
+    type differs per runtime, so the old first-class-module packaging
+    (one [ALLOCATOR] signature sharing a single [Store.t]) can no longer
+    exist. An [instance] is instead a record of closures over one heap:
+    each allocator functor provides an [instance] constructor with typed
+    access to its own store and space meters, and everything above the
+    allocator layer stays runtime-agnostic.
 
     Addresses returned by [malloc] point at the block payload (the 8-byte
     prefix sits just below, as in the paper); payload words are accessed
-    through the allocator's {!Store}. *)
+    through the [read_word]/[write_word] closures, which delegate to the
+    instance's own store. *)
 
-module type ALLOCATOR = sig
-  type t
+type instance = {
+  name : string;  (** short identifier used in experiment output *)
+  rt : Mm_runtime.Rt.t;
+      (** value-level runtime handle: spawning threads and labelling
+          result rows dispatch once per run, never per operation *)
+  malloc : int -> int;
+  free : int -> unit;
+  usable_size : int -> int;
+  read_word : ?racy:bool -> int -> int;
+  write_word : ?racy:bool -> int -> int -> unit;
+  write_payload_round : int -> len:int -> times:int -> unit;
+  space : unit -> Space.snapshot;
+  os_stats : unit -> Store.os_stats;
+  check : unit -> unit;  (** validate invariants; requires quiescence *)
+}
 
-  val name : string
-  (** Short identifier used in experiment output ("new", "hoard", ...). *)
+let instance_name i = i.name
+let instance_rt i = i.rt
+let instance_malloc i n = i.malloc n
+let instance_free i addr = i.free addr
+let instance_usable i addr = i.usable_size addr
+let instance_read_word ?racy i addr = i.read_word ?racy addr
+let instance_write_word ?racy i addr v = i.write_word ?racy addr v
 
-  val create : Mm_runtime.Rt.t -> Alloc_config.t -> t
-  (** A fresh, independent heap (own store, own descriptors). Thread-safe
-      for concurrent [malloc]/[free] once created. *)
+let instance_write_payload_round i addr ~len ~times =
+  i.write_payload_round addr ~len ~times
 
-  val malloc : t -> int -> int
-  (** [malloc t n] allocates a block with at least [n] payload bytes and
-      returns its payload address (never {!Addr.null}; raises
-      [Invalid_argument] on negative [n], [Failure] on substrate
-      exhaustion). [malloc t 0] returns a valid unique block. *)
+let instance_space i = i.space ()
+let instance_os_stats i = i.os_stats ()
+let instance_check i = i.check ()
 
-  val free : t -> int -> unit
-  (** Returns a block to the heap. [free t Addr.null] is a no-op. Freeing
-      an address not obtained from [malloc] (or freeing twice) is a
-      programming error with undefined (but memory-safe) behaviour, as in
-      C. *)
+(** Shared instance-construction plumbing for the allocator functors:
+    [Pack (Rt)] knows the runtime's store/space instantiations, so each
+    allocator only supplies its heap-specific closures. Applicative
+    functor semantics make [Pack(Rt).Store.t] equal to the allocator's
+    own [Store.Make(Rt).t]. *)
+module Pack (Rt : Mm_runtime.Runtime_intf.S) = struct
+  module Store = Store.Make (Rt)
+  module Space = Space.Make (Rt)
 
-  val usable_size : t -> int -> int
-  (** Payload bytes actually available at an address returned by [malloc]
-      (or [Alloc_ops.aligned_alloc]); at least the requested size. *)
-
-  val store : t -> Store.t
-  val rt : t -> Mm_runtime.Rt.t
-
-  val check_invariants : t -> unit
-  (** Validate internal invariants; requires quiescence (no concurrent
-      operations). Raises [Failure] with a diagnostic on violation. *)
+  let make ~name ~rt ~store ~malloc ~free ~usable_size ~check =
+    {
+      name;
+      rt;
+      malloc;
+      free;
+      usable_size;
+      read_word = (fun ?racy addr -> Store.read_word ?racy store addr);
+      write_word = (fun ?racy addr v -> Store.write_word ?racy store addr v);
+      write_payload_round =
+        (fun addr ~len ~times ->
+          Store.write_payload_round store addr ~len ~times);
+      space = (fun () -> Space.read (Store.space store));
+      os_stats = (fun () -> Store.os_stats store);
+      check;
+    }
 end
-
-(** An allocator packaged with one of its heaps — what workloads and
-    experiments pass around. *)
-type instance = Inst : (module ALLOCATOR with type t = 'a) * 'a -> instance
-
-let instance_name (Inst ((module A), _)) = A.name
-let instance_malloc (Inst ((module A), h)) n = A.malloc h n
-let instance_free (Inst ((module A), h)) addr = A.free h addr
-let instance_usable (Inst ((module A), h)) addr = A.usable_size h addr
-let instance_store (Inst ((module A), h)) = A.store h
-let instance_rt (Inst ((module A), h)) = A.rt h
-let instance_check (Inst ((module A), h)) = A.check_invariants h
-let instance_space (Inst ((module A), h)) = Space.read (Store.space (A.store h))

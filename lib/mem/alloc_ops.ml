@@ -1,23 +1,15 @@
-module Prefix = Block_prefix
-open Alloc_intf
+(* Derived allocation operations (calloc / realloc / aligned_alloc),
+   built generically on any allocator instance. *)
 
-let resolve store payload =
-  let prefix = Store.read_word store (payload - Prefix.prefix_bytes) in
-  if Prefix.is_offset prefix then begin
-    let delta = Prefix.offset_delta prefix in
-    let base = payload - delta in
-    (base, Store.read_word store (base - Prefix.prefix_bytes), delta)
-  end
-  else (payload, prefix, 0)
+open Alloc_intf
 
 let calloc inst ~count ~size =
   if count < 0 || size < 0 then invalid_arg "Alloc_ops.calloc: negative";
   let n = count * size in
   let addr = instance_malloc inst n in
-  let store = instance_store inst in
   let words = (n + 7) / 8 in
   for w = 0 to words - 1 do
-    Store.write_word store (addr + (8 * w)) 0
+    instance_write_word inst (addr + (8 * w)) 0
   done;
   addr
 
@@ -29,11 +21,10 @@ let realloc inst addr n =
     if n <= old_usable then addr
     else begin
       let fresh = instance_malloc inst n in
-      let store = instance_store inst in
       let words = (old_usable + 7) / 8 in
       for w = 0 to words - 1 do
-        Store.write_word store (fresh + (8 * w))
-          (Store.read_word store (addr + (8 * w)))
+        instance_write_word inst (fresh + (8 * w))
+          (instance_read_word inst (addr + (8 * w)))
       done;
       instance_free inst addr;
       fresh
@@ -55,8 +46,7 @@ let aligned_alloc inst ~align n =
     let aligned = (raw + align - 1) / align * align in
     if aligned = raw then raw
     else begin
-      let store = instance_store inst in
-      Store.write_word store
+      instance_write_word inst
         (aligned - Block_prefix.prefix_bytes)
         (Block_prefix.offset ~delta:(aligned - raw));
       aligned

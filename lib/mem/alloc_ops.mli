@@ -1,18 +1,12 @@
 (** Derived allocation operations — the rest of the familiar C API
     (calloc / realloc / aligned_alloc), built generically on top of any
-    {!Alloc_intf.ALLOCATOR}.
+    {!Alloc_intf.instance}.
 
     Aligned allocation over-allocates and advances the payload to the
     requested alignment, recording the distance in an {e offset prefix}
     word just below the advanced payload ({!Block_prefix}); [free] and
     [usable_size] in every allocator resolve such payloads back to the
     underlying block first. *)
-
-val resolve : Store.t -> int -> int * int * int
-(** [resolve store payload] follows at most one offset prefix and returns
-    [(underlying_payload, its_prefix_word, delta)]. Used by the
-    allocators' [free]/[usable_size] implementations; not needed by
-    application code. *)
 
 val calloc : Alloc_intf.instance -> count:int -> size:int -> int
 (** Allocate [count * size] bytes, zero-filled. *)

@@ -1,4 +1,4 @@
-(** Space accounting, shared by all four allocators so that the paper's
+(** Space accounting, shared by all allocators so that the paper's
     §4.2.5 space-efficiency comparison is apples-to-apples.
 
     Two meters: [mapped] is address space currently held from the
@@ -7,8 +7,6 @@
     malloc. Both carry high-water marks maintained with CAS so they are
     exact under concurrency. *)
 
-type t
-
 type snapshot = {
   mapped : int;
   mapped_peak : int;
@@ -16,15 +14,19 @@ type snapshot = {
   used_peak : int;
 }
 
-val create : Mm_runtime.Rt.t -> t
+module Make (Rt : Mm_runtime.Runtime_intf.S) : sig
+  type t
 
-val add_mapped : t -> int -> unit
-(** Positive on mmap, negative on munmap. *)
+  val create : Rt.t -> t
 
-val add_used : t -> int -> unit
-(** Positive on malloc, negative on free. *)
+  val add_mapped : t -> int -> unit
+  (** Positive on mmap, negative on munmap. *)
 
-val read : t -> snapshot
+  val add_used : t -> int -> unit
+  (** Positive on malloc, negative on free. *)
 
-val reset_peaks : t -> unit
-(** Reset high-water marks to current values (between workload phases). *)
+  val read : t -> snapshot
+
+  val reset_peaks : t -> unit
+  (** Reset high-water marks to current values (between workload phases). *)
+end

@@ -1,0 +1,112 @@
+(* The dispatch-free real backend of {!Runtime_intf.S}.
+
+   This is the only module in the repository (outside the simulator's
+   own host bookkeeping in {!Rt_base}) allowed to touch [Stdlib.Atomic]
+   and [Domain] directly (mm-lint R2): an ['a atomic] IS an
+   ['a Stdlib.Atomic.t], word access is a bare [Bytes] load/store, and
+   labels/fences/obs sites cost one load and one branch when no hook is
+   installed. No [Sim.in_sim] check appears on any path. *)
+
+type t = unit
+type 'a atomic = 'a Stdlib.Atomic.t
+
+let name = "real"
+let is_sim = false
+let controllable = false
+let max_threads = Rt_base.max_threads
+let fresh_line = Rt_base.fresh_line
+
+module Obs = Rt_base.Obs
+
+module Atomic = struct
+  let make () ?line v =
+    ignore line;
+    Stdlib.Atomic.make v
+
+  let get = Stdlib.Atomic.get
+  let set = Stdlib.Atomic.set
+
+  let compare_and_set a expected desired =
+    let ok = Stdlib.Atomic.compare_and_set a expected desired in
+    (* Hook deref inlined here: [obs_cas] re-checks it, but going through
+       the call just to find no hook installed costs a cross-module call
+       on every CAS of the hot path. *)
+    if Obs.compiled then begin
+      match !Obs.hook with
+      | None -> ()
+      | Some _ -> Rt_base.obs_cas ~in_sim:false ok
+    end;
+    ok
+
+  let fetch_and_add = Stdlib.Atomic.fetch_and_add
+  let incr a = ignore (Stdlib.Atomic.fetch_and_add a 1)
+end
+
+let read_word () bytes off ~line:_ = Int64.to_int (Bytes.get_int64_le bytes off)
+
+let write_word () bytes off ~line:_ v =
+  Bytes.set_int64_le bytes off (Int64.of_int v)
+
+let touch () ~line:_ ~write:_ = ()
+let touch_batch () ~line:_ ~write:_ ~count:_ = ()
+let fence_dummy = Stdlib.Atomic.make 0
+let fence () = ignore (Stdlib.Atomic.get fence_dummy)
+let cpu_relax () = Domain.cpu_relax ()
+let work () n = Rt_base.real_work n
+
+let yield () =
+  (* A genuine scheduler yield: on an oversubscribed host, spinning
+     with PAUSE alone can leave the thread we wait on unscheduled for a
+     whole quantum. *)
+  try Unix.sleepf 1e-6 with Unix.Unix_error _ -> Domain.cpu_relax ()
+
+let syscall () = ()
+
+let label () l =
+  (if Obs.compiled then
+     match !Rt_base.Obs.hook with
+     | None -> ()
+     | Some _ ->
+         Rt_base.Obs.last_label.(Domain.DLS.get Rt_base.dls_self) <- l);
+  let h = !Rt_base.real_label_hook in
+  if h != Rt_base.noop_label then h l
+
+let obs_event () kind name =
+  if Obs.compiled then
+    match !Rt_base.Obs.hook with
+    | None -> ()
+    | Some f ->
+        f
+          ~tid:(Rt_base.obs_tid ~in_sim:false)
+          ~kind ~label:name
+          ~cycle:(Rt_base.obs_cycle ~in_sim:false)
+
+let self () = Domain.DLS.get Rt_base.dls_self
+let num_cpus () = Domain.recommended_domain_count ()
+let now () = Unix.gettimeofday ()
+
+let parallel_run () bodies =
+  let n = Array.length bodies in
+  if n = 0 then { Rt_base.elapsed = 0.0; sim_result = None }
+  else if n > max_threads then
+    invalid_arg
+      (Printf.sprintf "Rt.parallel_run: %d threads exceeds max_threads=%d" n
+         max_threads)
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      Array.init n (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set Rt_base.dls_self i;
+              bodies.(i) i))
+    in
+    let failure = ref None in
+    Array.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> if !failure = None then failure := Some e)
+      domains;
+    (match !failure with Some e -> raise e | None -> ());
+    { Rt_base.elapsed = Unix.gettimeofday () -. t0; sim_result = None }
+  end

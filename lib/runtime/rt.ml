@@ -1,3 +1,13 @@
+(* Value-level runtime dispatch.
+
+   Harness, workload and test code that picks a runtime at run time
+   goes through this module; it delegates every operation to the two
+   specialized backends ({!Real_rt}, {!Sim_rt}), which are what the
+   allocator stack itself is functorized over (ROADMAP item 4 /
+   DESIGN.md §18). This layer pays one variant match per operation —
+   fine for spawning threads and reading counters, never on an
+   allocator hot path. *)
+
 type t = Real | Simulated of Sim.t
 
 let real = Real
@@ -10,274 +20,103 @@ let sim = function Real -> None | Simulated s -> Some s
    expose them. Callers outside lib/runtime and lib/check must consult
    this flag before touching any Sim control facility (lint R6). *)
 let controllable = function Real -> false | Simulated _ -> true
-let name = function Real -> "real" | Simulated _ -> "sim"
-let max_threads = 64
+let name = function Real -> Real_rt.name | Simulated _ -> Sim_rt.name
+let max_threads = Rt_base.max_threads
+let fresh_line = Rt_base.fresh_line
 
-(* ------------------------------------------------------------------ *)
-(* Synthetic cache lines for atomics: negative ids, so they can never
-   collide with memory-derived lines (which are non-negative). *)
+module Obs = Rt_base.Obs
 
-let line_counter = Stdlib.Atomic.make 0
-
-let fresh_line () = -1 - Stdlib.Atomic.fetch_and_add line_counter 1
-
-(* ------------------------------------------------------------------ *)
-(* Thread identity (declared early: the observability hook below needs
-   it to attribute events on the real runtime). *)
-
-let dls_self : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
-
-(* ------------------------------------------------------------------ *)
-(* Observability hook (lib/obs).
-
-   Recording runs on the HOST side only: it never calls Sim.step_* and
-   never goes through Rt.atomic, so a simulated run produces the same
-   schedule, cycle counts and counters whether tracing is on or off.
-   Timestamps are Sim.now_cycles under simulation and a global event
-   ordinal on the real runtime. *)
-
-module Obs = struct
-  type kind = Cas_ok | Cas_fail | Transition | Hp_scan | Mmap
-
-  (* Compile-time master switch: flip to [false] and every recording
-     site in this file folds to dead code, so the zero-tracing build
-     carries no hot-path cost at all. With it [true] (the default) and
-     no hook installed, each site costs one load and one branch. *)
-  let compiled = true
-
-  let no_label = "(none)"
-
-  (* CAS attribution: the last label each thread passed. One writer per
-     slot (the thread itself) and the only reader is that same thread's
-     next CAS event, so plain stores suffice. *)
-  let last_label = Array.make max_threads no_label
-
-  let hook :
-      (tid:int -> kind:kind -> label:string -> cycle:int -> unit) option ref =
-    ref None
-
-  let set_hook h =
-    (match h with
-    | Some _ -> Array.fill last_label 0 max_threads no_label
-    | None -> ());
-    hook := h
-
-  let hook_installed () = match !hook with Some _ -> true | None -> false
-
-  (* Event ordinals for the real runtime, which has no virtual clock. *)
-  let real_clock = Stdlib.Atomic.make 0
-end
-
-let obs_tid ~in_sim =
-  if in_sim then Sim.self_tid () else Domain.DLS.get dls_self
-
-let obs_cycle ~in_sim =
-  if in_sim then Sim.now_cycles ()
-  else Stdlib.Atomic.fetch_and_add Obs.real_clock 1
-
-let obs_cas ~in_sim ok =
-  match !Obs.hook with
-  | None -> ()
-  | Some f ->
-      let tid = obs_tid ~in_sim in
-      f ~tid
-        ~kind:(if ok then Obs.Cas_ok else Obs.Cas_fail)
-        ~label:Obs.last_label.(tid) ~cycle:(obs_cycle ~in_sim)
-
-let obs_event rt kind name =
-  if Obs.compiled then
-    match !Obs.hook with
-    | None -> ()
-    | Some f ->
-        let in_sim =
-          match rt with Real -> false | Simulated _ -> Sim.in_sim ()
-        in
-        f ~tid:(obs_tid ~in_sim) ~kind ~label:name ~cycle:(obs_cycle ~in_sim)
-
-(* ------------------------------------------------------------------ *)
-(* Atomics. *)
-
-type 'a atomic =
-  | Real_at of 'a Stdlib.Atomic.t
-  | Sim_at of { mutable v : 'a; line : int }
+type 'a atomic = Real_at of 'a Real_rt.atomic | Sim_at of 'a Sim_rt.atomic
 
 module Atomic = struct
   let make rt ?line v =
     match rt with
-    | Real -> Real_at (Stdlib.Atomic.make v)
-    | Simulated _ ->
-        let line = match line with Some l -> l | None -> fresh_line () in
-        Sim_at { v; line }
+    | Real -> Real_at (Real_rt.Atomic.make () ?line v)
+    | Simulated s -> Sim_at (Sim_rt.Atomic.make s ?line v)
 
   let get = function
-    | Real_at a -> Stdlib.Atomic.get a
-    | Sim_at r ->
-        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:false;
-        r.v
+    | Real_at a -> Real_rt.Atomic.get a
+    | Sim_at a -> Sim_rt.Atomic.get a
 
   let set at v =
     match at with
-    | Real_at a -> Stdlib.Atomic.set a v
-    | Sim_at r ->
-        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:true;
-        r.v <- v
+    | Real_at a -> Real_rt.Atomic.set a v
+    | Sim_at a -> Sim_rt.Atomic.set a v
 
   let compare_and_set at expected desired =
     match at with
-    | Real_at a ->
-        let ok = Stdlib.Atomic.compare_and_set a expected desired in
-        if Obs.compiled then obs_cas ~in_sim:false ok;
-        ok
-    | Sim_at r ->
-        (* Even a failing CAS acquires the line exclusively. *)
-        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:true;
-        let ok = r.v == expected in
-        if ok then r.v <- desired;
-        if Obs.compiled then obs_cas ~in_sim:(Sim.in_sim ()) ok;
-        ok
+    | Real_at a -> Real_rt.Atomic.compare_and_set a expected desired
+    | Sim_at a -> Sim_rt.Atomic.compare_and_set a expected desired
 
-  let fetch_and_add (at : int atomic) n =
+  let fetch_and_add at n =
     match at with
-    | Real_at a -> Stdlib.Atomic.fetch_and_add a n
-    | Sim_at r ->
-        if Sim.in_sim () then Sim.step_atomic ~line:r.line ~write:true;
-        let old = r.v in
-        r.v <- old + n;
-        old
+    | Real_at a -> Real_rt.Atomic.fetch_and_add a n
+    | Sim_at a -> Sim_rt.Atomic.fetch_and_add a n
 
   let incr at = ignore (fetch_and_add at 1)
 end
 
-(* ------------------------------------------------------------------ *)
-(* Word access to simulated memory. *)
-
 let read_word rt bytes off ~line =
-  (match rt with
-  | Real -> ()
-  | Simulated _ ->
-      if Sim.in_sim () then Sim.step_mem ~line ~write:false);
-  Int64.to_int (Bytes.get_int64_le bytes off)
+  match rt with
+  | Real -> Real_rt.read_word () bytes off ~line
+  | Simulated s -> Sim_rt.read_word s bytes off ~line
 
 let write_word rt bytes off ~line v =
-  (match rt with
-  | Real -> ()
-  | Simulated _ -> if Sim.in_sim () then Sim.step_mem ~line ~write:true);
-  Bytes.set_int64_le bytes off (Int64.of_int v)
+  match rt with
+  | Real -> Real_rt.write_word () bytes off ~line v
+  | Simulated s -> Sim_rt.write_word s bytes off ~line v
 
 let touch rt ~line ~write =
   match rt with
   | Real -> ()
-  | Simulated _ -> if Sim.in_sim () then Sim.step_mem ~line ~write
+  | Simulated s -> Sim_rt.touch s ~line ~write
 
 let touch_batch rt ~line ~write ~count =
   match rt with
   | Real -> ()
-  | Simulated _ -> if Sim.in_sim () then Sim.step_mem_batch ~line ~write ~count
+  | Simulated s -> Sim_rt.touch_batch s ~line ~write ~count
 
-(* ------------------------------------------------------------------ *)
-(* Control. *)
-
-let fence_dummy = Stdlib.Atomic.make 0
-
-let fence = function
-  | Real -> ignore (Stdlib.Atomic.get fence_dummy)
-  | Simulated _ -> if Sim.in_sim () then Sim.step_fence ()
+let fence = function Real -> Real_rt.fence () | Simulated s -> Sim_rt.fence s
 
 let cpu_relax = function
-  | Real -> Domain.cpu_relax ()
-  | Simulated _ -> if Sim.in_sim () then Sim.step_work 8
-
-(* Opaque sink so real [work] loops are not optimized away. *)
-let work_sink = ref 0
+  | Real -> Real_rt.cpu_relax ()
+  | Simulated s -> Sim_rt.cpu_relax s
 
 let work rt n =
-  match rt with
-  | Real ->
-      let acc = ref !work_sink in
-      for i = 1 to n do
-        acc := (!acc * 25214903917) + i
-      done;
-      work_sink := Sys.opaque_identity !acc
-  | Simulated _ -> if Sim.in_sim () then Sim.step_work n
+  match rt with Real -> Real_rt.work () n | Simulated s -> Sim_rt.work s n
 
-let yield = function
-  | Real ->
-      (* A genuine scheduler yield: on an oversubscribed host, spinning
-         with PAUSE alone can leave the thread we wait on unscheduled
-         for a whole quantum. *)
-      (try Unix.sleepf 1e-6 with Unix.Unix_error _ -> Domain.cpu_relax ())
-  | Simulated _ -> if Sim.in_sim () then Sim.step_yield ()
+let yield = function Real -> Real_rt.yield () | Simulated s -> Sim_rt.yield s
 
 let syscall = function
-  | Real -> ()
-  | Simulated _ -> if Sim.in_sim () then Sim.step_syscall ()
+  | Real -> Real_rt.syscall ()
+  | Simulated s -> Sim_rt.syscall s
 
-let real_label_hook : (string -> unit) ref = ref (fun _ -> ())
+let real_label_hook = Rt_base.real_label_hook
 
 let label rt l =
-  (if Obs.compiled && Obs.hook_installed () then
-     let in_sim =
-       match rt with Real -> false | Simulated _ -> Sim.in_sim ()
-     in
-     Obs.last_label.(obs_tid ~in_sim) <- l);
-  match rt with
-  | Real -> !real_label_hook l
-  | Simulated _ -> if Sim.in_sim () then Sim.step_label l
+  match rt with Real -> Real_rt.label () l | Simulated s -> Sim_rt.label s l
 
-(* ------------------------------------------------------------------ *)
-(* Thread identity. *)
+let obs_event rt kind name =
+  match rt with
+  | Real -> Real_rt.obs_event () kind name
+  | Simulated s -> Sim_rt.obs_event s kind name
 
 let self = function
-  | Real -> Domain.DLS.get dls_self
-  | Simulated _ -> if Sim.in_sim () then Sim.self_tid () else 0
+  | Real -> Real_rt.self ()
+  | Simulated s -> Sim_rt.self s
 
 let num_cpus = function
-  | Real -> Domain.recommended_domain_count ()
-  | Simulated s -> Sim.cpus s
+  | Real -> Real_rt.num_cpus ()
+  | Simulated s -> Sim_rt.num_cpus s
 
-let now = function
-  | Real -> Unix.gettimeofday ()
-  | Simulated s ->
-      if Sim.in_sim () then
-        float_of_int (Sim.now_cycles ()) /. (Sim.costs s).Cost.cycles_per_sec
-      else 0.0
+let now = function Real -> Real_rt.now () | Simulated s -> Sim_rt.now s
 
-(* ------------------------------------------------------------------ *)
-(* Running threads. *)
-
-type run_result = { elapsed : float; sim_result : Sim.result option }
+type run_result = Rt_base.run_result = {
+  elapsed : float;
+  sim_result : Sim.result option;
+}
 
 let parallel_run rt bodies =
-  let n = Array.length bodies in
-  if n = 0 then { elapsed = 0.0; sim_result = None }
-  else if n > max_threads then
-    invalid_arg
-      (Printf.sprintf "Rt.parallel_run: %d threads exceeds max_threads=%d" n
-         max_threads)
-  else
-    match rt with
-    | Real ->
-        let t0 = Unix.gettimeofday () in
-        let domains =
-          Array.init n (fun i ->
-              Domain.spawn (fun () ->
-                  Domain.DLS.set dls_self i;
-                  bodies.(i) i))
-        in
-        let failure = ref None in
-        Array.iter
-          (fun d ->
-            match Domain.join d with
-            | () -> ()
-            | exception e -> if !failure = None then failure := Some e)
-          domains;
-        (match !failure with Some e -> raise e | None -> ());
-        { elapsed = Unix.gettimeofday () -. t0; sim_result = None }
-    | Simulated s ->
-        let r = Sim.run s bodies in
-        {
-          elapsed =
-            float_of_int r.Sim.makespan_cycles
-            /. (Sim.costs s).Cost.cycles_per_sec;
-          sim_result = Some r;
-        }
+  match rt with
+  | Real -> Real_rt.parallel_run () bodies
+  | Simulated s -> Sim_rt.parallel_run s bodies

@@ -120,7 +120,7 @@ val real_label_hook : (string -> unit) ref
     same schedule, cycles, counters — with tracing on or off. *)
 
 module Obs : sig
-  type kind =
+  type kind = Rt_base.Obs.kind =
     | Cas_ok  (** a {!Atomic.compare_and_set} that succeeded *)
     | Cas_fail  (** a {!Atomic.compare_and_set} that failed (one retry) *)
     | Transition  (** superblock state change (lib/core) *)
@@ -162,7 +162,7 @@ val now : t -> float
 
 (** {2 Running threads} *)
 
-type run_result = {
+type run_result = Rt_base.run_result = {
   elapsed : float;  (** wall seconds (real) or virtual seconds (sim) *)
   sim_result : Sim.result option;  (** simulation counters, if simulated *)
 }

@@ -1,0 +1,8 @@
+(** The simulated backend of {!Runtime_intf.S}: every operation charges
+    the deterministic simulated multiprocessor ({!Sim}), with semantics
+    bit-identical to the historical value-dispatch runtime — same
+    [Sim.step_*] sequence, same synthetic cache-line ids, same
+    physical-equality CAS — so explorer schedules and census counters
+    are reproduced exactly. *)
+
+include Runtime_intf.S with type t = Sim.t

@@ -747,7 +747,11 @@ let build_function ~unit_name ~file ~name ?self expr =
 let is_function e =
   match (strip e).exp_desc with Texp_function _ -> true | _ -> false
 
-(* Module aliases declared in a unit: [module Tis = Mm_lockfree.X]. *)
+(* Module aliases declared in a unit: [module Tis = Mm_lockfree.X] or,
+   inside a functor body, [module Tis = Mm_lockfree.X.Make (Rt)]. The
+   [Make (Rt : RUNTIME)] wrapper (DESIGN.md §18) is transparent: its
+   body's aliases keep their bare names, because that is how the body's
+   own functions spell them at call sites. *)
 let rec collect_aliases items =
   List.concat_map
     (fun item ->
@@ -760,10 +764,38 @@ let rec collect_aliases items =
 and alias_of_binding mb =
   match (mb.mb_id, mb.mb_expr.mod_desc) with
   | Some id, Tmod_ident (p, _) -> [ (Ident.name id, Tast.flatten_path p) ]
+  | Some id, Tmod_apply _ -> (
+      (* A functor application aliases the applied head:
+         [module Hp = Mm_lockfree.Hazard_pointers.Make (Rt)] maps Hp to
+         Mm_lockfree.Hazard_pointers.Make. Summary resolution keeps the
+         innermost segment naming an analyzed unit, so the trailing
+         functor name is harmless. *)
+      match applied_head mb.mb_expr with
+      | Some p -> [ (Ident.name id, p) ]
+      | None -> [])
   | Some id, Tmod_structure str ->
       List.map
         (fun (a, p) -> (Ident.name id ^ "." ^ a, p))
         (collect_aliases str.str_items)
+  | Some _, Tmod_functor (_, body) -> collect_aliases (body_items body)
+  | Some _, Tmod_constraint (m, _, _, _) ->
+      alias_of_binding { mb with mb_expr = m }
+  | _ -> []
+
+and applied_head me =
+  match me.mod_desc with
+  | Tmod_ident (p, _) -> Some (Tast.flatten_path p)
+  | Tmod_apply (f, _, _) -> applied_head f
+  | Tmod_constraint (m, _, _, _) -> applied_head m
+  | _ -> None
+
+(* Structure items of a module expression, looking through functor
+   abstraction and signature constraints. *)
+and body_items me =
+  match me.mod_desc with
+  | Tmod_structure s -> s.str_items
+  | Tmod_functor (_, body) -> body_items body
+  | Tmod_constraint (m, _, _, _) -> body_items m
   | _ -> []
 
 let functions_of_unit (u : Tast.unit_t) =
@@ -788,10 +820,22 @@ let functions_of_unit (u : Tast.unit_t) =
                          ?self vb.vb_expr)
                 | _ -> None)
               vbs
-        | Tstr_module
-            { mb_id = Some id; mb_expr = { mod_desc = Tmod_structure s; _ }; _ }
-          ->
-            of_items (prefix ^ Ident.name id ^ ".") s.str_items
+        | Tstr_module { mb_id = Some id; mb_expr; _ } ->
+            (* A plain nested module prefixes its functions' names. A
+               functor wrapper — the [Make (Rt : RUNTIME)] specialization
+               idiom (DESIGN.md §18) — is transparent instead, so
+               [Tagged_id_stack]'s pop summarizes under the bare key
+               (Tagged_id_stack, "pop") that interprocedural demand
+               resolution looks up. *)
+            let rec descend me =
+              match me.mod_desc with
+              | Tmod_structure s ->
+                  of_items (prefix ^ Ident.name id ^ ".") s.str_items
+              | Tmod_functor (_, body) -> of_items prefix (body_items body)
+              | Tmod_constraint (m, _, _, _) -> descend m
+              | _ -> []
+            in
+            descend mb_expr
         | _ -> [])
       items
   in

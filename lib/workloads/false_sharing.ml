@@ -20,7 +20,6 @@ let quick_passive = { quick_active with passive = true }
 
 let run instance ~threads p =
   let rt = instance_rt instance in
-  let store = instance_store instance in
   (* Passive variant: thread 0 allocates everyone's first block up front;
      each thread frees its handed block before proceeding. *)
   let handed =
@@ -32,7 +31,7 @@ let run instance ~threads p =
     if p.passive then instance_free instance handed.(tid);
     for _ = 1 to p.pairs do
       let a = instance_malloc instance p.size in
-      Mm_mem.Store.write_payload_round store a ~len:p.size
+      instance_write_payload_round instance a ~len:p.size
         ~times:p.writes_per_byte;
       instance_free instance a
     done

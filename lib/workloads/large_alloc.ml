@@ -24,7 +24,6 @@ let quick = { default with slots = 16; rounds = 2_000 }
 
 let run instance ~threads p =
   let rt = instance_rt instance in
-  let store = instance_store instance in
   let threshold =
     (* Straddle the superblock/large boundary of the shared class table
        regardless of the instance's sbsize: the default table's largest
@@ -48,7 +47,7 @@ let run instance ~threads p =
           else Prng.int_in rng 8 p.small_size
         in
         let a = instance_malloc instance sz in
-        Mm_mem.Store.write_payload_round store a ~len:(min sz 64) ~times:1;
+        instance_write_payload_round instance a ~len:(min sz 64) ~times:1;
         slots.(i) <- a
       end
     done;

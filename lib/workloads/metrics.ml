@@ -27,7 +27,7 @@ let make ?obs ~workload ~instance ~threads ~ops ~run () =
     elapsed;
     throughput = (if elapsed > 0.0 then float_of_int ops /. elapsed else 0.0);
     space = instance_space instance;
-    os = Mm_mem.Store.os_stats (instance_store instance);
+    os = instance_os_stats instance;
     sim = (match run.Rt.sim_result with
           | Some r -> Some r.Sim.counters
           | None -> None);

@@ -1,6 +1,39 @@
 open Mm_runtime
 open Mm_mem.Alloc_intf
-module Msq = Mm_lockfree.Ms_queue
+module Msq_r = Mm_lockfree.Ms_queue.Make (Mm_runtime.Real_rt)
+module Msq_s = Mm_lockfree.Ms_queue.Make (Mm_runtime.Sim_rt)
+
+(* Value-level dispatch over the two specialized queue instantiations:
+   the task queue is workload infrastructure, not allocator hot path,
+   so one variant match per queue operation is fine (it is exactly what
+   the old dispatched runtime paid). *)
+module Backoff_r = Mm_lockfree.Backoff.Make (Mm_runtime.Real_rt)
+module Backoff_s = Mm_lockfree.Backoff.Make (Mm_runtime.Sim_rt)
+
+module Backoff = struct
+  type t = Rb of Backoff_r.t | Sb of Backoff_s.t
+
+  let create rt =
+    match Rt.sim rt with
+    | None -> Rb (Backoff_r.create ())
+    | Some s -> Sb (Backoff_s.create s)
+
+  let reset = function Rb b -> Backoff_r.reset b | Sb b -> Backoff_s.reset b
+  let once = function Rb b -> Backoff_r.once b | Sb b -> Backoff_s.once b
+end
+
+module Msq = struct
+  type 'a t = Rq of 'a Msq_r.t | Sq of 'a Msq_s.t
+
+  let create rt =
+    match Rt.sim rt with
+    | None -> Rq (Msq_r.create ())
+    | Some s -> Sq (Msq_s.create s)
+
+  let enqueue q v = match q with Rq q -> Msq_r.enqueue q v | Sq q -> Msq_s.enqueue q v
+  let dequeue = function Rq q -> Msq_r.dequeue q | Sq q -> Msq_s.dequeue q
+  let is_empty = function Rq q -> Msq_r.is_empty q | Sq q -> Msq_s.is_empty q
+end
 
 type params = {
   tasks : int;
@@ -42,7 +75,6 @@ let work_scale = 25
 let run instance ~threads p =
   if threads < 1 then invalid_arg "Producer_consumer.run: threads >= 1";
   let rt = instance_rt instance in
-  let store = instance_store instance in
   let db =
     let rng = Prng.create p.seed in
     Array.init p.db_size (fun _ -> Prng.int rng 1024)
@@ -55,7 +87,7 @@ let run instance ~threads p =
     (* Histograms over the database for the task's indexes. *)
     let acc = ref 0 in
     for w = 0 to task.k - 1 do
-      let word = Mm_mem.Store.read_word store (task.idx_block + (8 * (w / 2))) in
+      let word = instance_read_word instance (task.idx_block + (8 * (w / 2))) in
       let idx = (if w land 1 = 0 then word land 0xFFFFFFFF else word lsr 32)
                 mod p.db_size in
       acc := !acc + db.(idx);
@@ -65,7 +97,7 @@ let run instance ~threads p =
     Rt.work rt (p.work * work_scale);
     (* Consumer side: 1 malloc + 4 frees. *)
     let hist_block = instance_malloc instance 64 in
-    Mm_mem.Store.write_word store hist_block !acc;
+    instance_write_word instance hist_block !acc;
     instance_free instance hist_block;
     instance_free instance task.idx_block;
     instance_free instance task.task_block;
@@ -89,12 +121,12 @@ let run instance ~threads p =
       for w = 0 to ((k + 1) / 2) - 1 do
         let lo = Prng.int rng p.db_size in
         let hi = Prng.int rng p.db_size in
-        Mm_mem.Store.write_word store
+        instance_write_word instance
           (idx_block + (8 * w))
           (lo lor (hi lsl 32))
       done;
       let task_block = instance_malloc instance 32 in
-      Mm_mem.Store.write_word store task_block k;
+      instance_write_word instance task_block k;
       let node_block = instance_malloc instance 16 in
       Msq.enqueue queue { task_block; idx_block; node_block; k };
       let len = Rt.Atomic.fetch_and_add qlen 1 + 1 in
@@ -106,15 +138,15 @@ let run instance ~threads p =
     while try_consume () do () done
   in
   let consumer _tid =
-    let b = Mm_lockfree.Backoff.create rt in
+    let b = Backoff.create rt in
     let rec loop () =
       if try_consume () then begin
-        Mm_lockfree.Backoff.reset b;
+        Backoff.reset b;
         loop ()
       end
       else if Rt.Atomic.get producing_done = 0 || not (Msq.is_empty queue)
       then begin
-        Mm_lockfree.Backoff.once b;
+        Backoff.once b;
         loop ()
       end
     in

@@ -26,6 +26,16 @@ dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
 # plus every experiment table, archived so the bench trajectory is
 # diffable across commits (BENCH_0.json in the repo root is the seed).
 MM_BENCH_JSON=_build/ci/bench-report.json dune exec bench/main.exe || true
+# Real-runtime latency gate (DESIGN.md §18): contention-free
+# malloc+free on the specialized real stack must stay under the bounds
+# below (measured ~203 ns for "new" and ~80 ns for "new-cached" at the
+# commit that functorized the stack, vs 268.8 / 120.7 ns on the
+# value-dispatched runtime it replaced — BENCH_3.json vs BENCH_4.json).
+# A breach means per-operation dispatch overhead crept back into the
+# hot path. Exit code 2 fails the gate.
+dune exec bench/main.exe -- --gate-only \
+  --max-ns-per-op malloc+free/new:240 \
+  --max-ns-per-op malloc+free/new-cached:105 > /dev/null
 # OS-traffic regression gate (DESIGN.md §14): the 16-thread threadtest
 # churn with the warm superblock cache on must keep simulated mmap
 # syscalls under 2 per 1k allocator ops (measured 0.36/1k at the

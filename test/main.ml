@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mmalloc"
     [
       ("smoke", Test_smoke.cases);
+      ("specialization", Test_specialization.cases);
       ("workloads-smoke", Test_workloads_smoke.cases);
       ("prng", Test_prng.cases);
       ("codecs", Test_codecs.cases);

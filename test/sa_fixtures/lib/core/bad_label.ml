@@ -2,22 +2,27 @@
    CAS retry loop; a call into a parameterized CAS window
    (Tagged_id_stack.pop) from a retry loop with no dominating label and
    no create-time override; and an unlabelled straight-line CAS whose
-   obligation escapes to the exported entry point. *)
+   obligation escapes to the exported entry point. All planted inside a
+   [Make (Rt)] functor body like the real tree (DESIGN.md §18), so the
+   parameterized-window demand also proves the interprocedural lookup
+   resolves a [Tis = Tagged_id_stack.Make (Rt)] functor-application
+   alias. *)
 
-open Mm_runtime
-module Tis = Mm_lockfree.Tagged_id_stack
+module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
+  module Tis = Mm_lockfree.Tagged_id_stack.Make (Rt)
 
-(* 1: CAS retried with no label re-established in the loop *)
-let rec spin rt (c : int Rt.atomic) =
-  let v = Rt.Atomic.get c in
-  if Rt.Atomic.compare_and_set c v (v + 1) then () else spin rt c
+  (* 1: CAS retried with no label re-established in the loop *)
+  let rec spin (c : int Rt.atomic) =
+    let v = Rt.Atomic.get c in
+    if Rt.Atomic.compare_and_set c v (v + 1) then () else spin c
 
-(* 2: parameterized window called from an unlabelled retry loop *)
-let rec drain (s : Tis.t) =
-  match Tis.pop s with Some _ -> drain s | None -> ()
+  (* 2: parameterized window called from an unlabelled retry loop *)
+  let rec drain (s : Tis.t) =
+    match Tis.pop s with Some _ -> drain s | None -> ()
 
-(* 3: no label anywhere; nothing analyzed calls [once], so the
-   obligation reaches the public API *)
-let once rt (c : int Rt.atomic) =
-  let v = Rt.Atomic.get c in
-  if Rt.Atomic.compare_and_set c v 9 then Rt.yield rt
+  (* 3: no label anywhere; nothing analyzed calls [once], so the
+     obligation reaches the public API *)
+  let once rt (c : int Rt.atomic) =
+    let v = Rt.Atomic.get c in
+    if Rt.Atomic.compare_and_set c v 9 then Rt.yield rt
+end

@@ -40,7 +40,6 @@ let with_env ?(cfg = Cfg.make ~nheaps:4 ()) name kind f =
 
 let malloc e = I.instance_malloc e.inst
 let free e = I.instance_free e.inst
-let store e = I.instance_store e.inst
 let check e = I.instance_check e.inst
 
 (* ---------------- behaviours ---------------- *)
@@ -67,14 +66,14 @@ let malloc_zero e =
 let payload_integrity e =
   let n = 200 in
   let addrs = Array.init n (fun i -> malloc e (8 + (8 * (i mod 30)))) in
-  Array.iteri (fun i a -> Store.write_word (store e) a (i * 1_000_003)) addrs;
+  Array.iteri (fun i a -> I.instance_write_word e.inst a (i * 1_000_003)) addrs;
   (* Free every third block, then re-check the remaining payloads. *)
   Array.iteri (fun i a -> if i mod 3 = 0 then free e a) addrs;
   Array.iteri
     (fun i a ->
       if i mod 3 <> 0 then
         Alcotest.(check int) "payload survives other frees" (i * 1_000_003)
-          (Store.read_word (store e) a))
+          (I.instance_read_word e.inst a))
     addrs;
   Array.iteri (fun i a -> if i mod 3 <> 0 then free e a) addrs;
   check e
@@ -84,11 +83,11 @@ let memory_reused e =
   for _ = 1 to 5_000 do
     free e (malloc e 24)
   done;
-  let s = Space.read (Store.space (store e)) in
+  let s = I.instance_space e.inst in
   Alcotest.(check bool)
     (Printf.sprintf "peak %d bounded" s.Space.mapped_peak)
     true
-    (s.Space.mapped_peak <= 64 * Store.sbsize (store e));
+    (s.Space.mapped_peak <= 64 * (Cfg.make ()).Cfg.sbsize);
   check e
 
 let large_blocks e =
@@ -97,18 +96,18 @@ let large_blocks e =
   let addrs = List.map (fun n -> (n, malloc e n)) sizes in
   List.iter
     (fun (n, a) ->
-      Store.write_word (store e) a n;
-      Store.write_word (store e) (a + n - 8) (n * 2))
+      I.instance_write_word e.inst a n;
+      I.instance_write_word e.inst (a + n - 8) (n * 2))
     addrs;
   List.iter
     (fun (n, a) ->
-      Alcotest.(check int) "head word" n (Store.read_word (store e) a);
+      Alcotest.(check int) "head word" n (I.instance_read_word e.inst a);
       Alcotest.(check int) "tail word" (n * 2)
-        (Store.read_word (store e) (a + n - 8)))
+        (I.instance_read_word e.inst (a + n - 8)))
     addrs;
-  let before = (Store.os_stats (store e)).Store.munmap_calls in
+  let before = (I.instance_os_stats e.inst).Store.munmap_calls in
   List.iter (fun (_, a) -> free e a) addrs;
-  let after = (Store.os_stats (store e)).Store.munmap_calls in
+  let after = (I.instance_os_stats e.inst).Store.munmap_calls in
   Alcotest.(check int) "large blocks munmapped" (before + 4) after;
   check e
 
@@ -157,12 +156,12 @@ let all_classes e =
     List.init (Sc.count sc) (fun c ->
         let n = Sc.block_size sc c - 8 in
         let a = malloc e n in
-        Store.write_word (store e) a n;
+        I.instance_write_word e.inst a n;
         (n, a))
   in
   List.iter
     (fun (n, a) ->
-      Alcotest.(check int) "class payload" n (Store.read_word (store e) a))
+      Alcotest.(check int) "class payload" n (I.instance_read_word e.inst a))
     addrs;
   List.iter (fun (_, a) -> free e a) addrs;
   check e
@@ -209,8 +208,8 @@ let concurrent_stress e =
 
 let stats_sane e =
   let a = malloc e 100 in
-  let s = Space.read (Store.space (store e)) in
-  let os = Store.os_stats (store e) in
+  let s = I.instance_space e.inst in
+  let os = I.instance_os_stats e.inst in
   Alcotest.(check bool) "mapped positive" true (s.Space.mapped > 0);
   Alcotest.(check bool) "peak >= current" true
     (s.Space.mapped_peak >= s.Space.mapped);

@@ -4,7 +4,6 @@
 open Mm_runtime
 module I = Mm_mem.Alloc_intf
 module Ops = Mm_mem.Alloc_ops
-module Store = Mm_mem.Store
 open Util
 
 let with_inst name f = f (instance name Rt.real)
@@ -19,7 +18,7 @@ let usable_at_least name () =
             (Printf.sprintf "usable %d >= %d" u n)
             true (u >= n);
           (* The whole usable range is writable and readable. *)
-          Store.write_word (I.instance_store inst) (a + ((u / 8 * 8) - 8)) 7;
+          I.instance_write_word inst (a + ((u / 8 * 8) - 8)) 7;
           I.instance_free inst a)
         [ 0; 1; 8; 100; 2040; 2041; 100_000 ])
 
@@ -28,45 +27,43 @@ let calloc_zeroes name () =
       (* Dirty a block, free it, calloc the same class: must be zero. *)
       let d = I.instance_malloc inst 64 in
       for w = 0 to 7 do
-        Store.write_word (I.instance_store inst) (d + (8 * w)) max_int
+        I.instance_write_word inst (d + (8 * w)) max_int
       done;
       I.instance_free inst d;
       let a = Ops.calloc inst ~count:8 ~size:8 in
       for w = 0 to 7 do
         Alcotest.(check int) "zeroed" 0
-          (Store.read_word (I.instance_store inst) (a + (8 * w)))
+          (I.instance_read_word inst (a + (8 * w)))
       done;
       I.instance_free inst a)
 
 let realloc_semantics name () =
   with_inst name (fun inst ->
-      let store = I.instance_store inst in
       (* null -> malloc *)
       let a = Ops.realloc inst 0 16 in
       Alcotest.(check bool) "realloc null allocates" true (a <> 0);
-      Store.write_word store a 11;
-      Store.write_word store (a + 8) 22;
+      I.instance_write_word inst a 11;
+      I.instance_write_word inst (a + 8) 22;
       (* shrink: same block *)
       let b = Ops.realloc inst a 8 in
       Alcotest.(check int) "shrink in place" a b;
       (* grow into a different class preserving contents *)
       let c = Ops.realloc inst b 5_000 in
       Alcotest.(check bool) "grow reallocates" true (c <> b);
-      Alcotest.(check int) "word 0 preserved" 11 (Store.read_word store c);
+      Alcotest.(check int) "word 0 preserved" 11 (I.instance_read_word inst c);
       Alcotest.(check int) "word 1 preserved" 22
-        (Store.read_word store (c + 8));
+        (I.instance_read_word inst (c + 8));
       Alcotest.(check bool) "grown usable" true
         (I.instance_usable inst c >= 5_000);
       (* grow a large block further *)
       let d = Ops.realloc inst c 50_000 in
       Alcotest.(check int) "contents survive large growth" 11
-        (Store.read_word store d);
+        (I.instance_read_word inst d);
       I.instance_free inst d;
       I.instance_check inst)
 
 let aligned_alloc_works name () =
   with_inst name (fun inst ->
-      let store = I.instance_store inst in
       List.iter
         (fun align ->
           let addrs =
@@ -77,12 +74,12 @@ let aligned_alloc_works name () =
                   0 (a mod align);
                 Alcotest.(check bool) "usable covers request" true
                   (I.instance_usable inst a >= 16 + (8 * i));
-                Store.write_word store a a;
+                I.instance_write_word inst a a;
                 a)
           in
           List.iter
             (fun a ->
-              Alcotest.(check int) "payload intact" a (Store.read_word store a);
+              Alcotest.(check int) "payload intact" a (I.instance_read_word inst a);
               I.instance_free inst a)
             addrs)
         [ 16; 64; 256; 4096 ];

@@ -2,19 +2,26 @@
    dynamics, Hoard's superblock migration, libc's total serialization. *)
 
 open Mm_runtime
-module Sb = Mm_baselines.Sb_heap
-module Locks = Mm_baselines.Locks
-module Pt = Mm_baselines.Ptmalloc_alloc
-module Hd = Mm_baselines.Hoard_alloc
-module Lc = Mm_baselines.Libc_alloc
+module Sb = Mm_baselines.Sb_heap.Make (Real_rt)
+module Pt = Mm_baselines.Ptmalloc_alloc.Make (Sim_rt)
+module Hd = Mm_baselines.Hoard_alloc.Make (Real_rt)
+module Lc = Mm_baselines.Libc_alloc.Make (Real_rt)
 module Cfg = Mm_mem.Alloc_config
-module Store = Mm_mem.Store
+
+module Store = struct
+  include Mm_mem.Store
+  include Mm_mem.Store.Make (Real_rt)
+end
+
+module Store_s = Mm_mem.Store.Make (Sim_rt)
+module Space_r = Mm_mem.Space.Make (Real_rt)
+module Space_s = Mm_mem.Space.Make (Sim_rt)
 open Util
 
 (* ---------------- serial heap core ---------------- *)
 
 let ctx_and_heap () =
-  let ctx = Sb.create_ctx Rt.real (Cfg.make ~sbsize:4096 ()) ~op_overhead:0 in
+  let ctx = Sb.create_ctx () (Cfg.make ~sbsize:4096 ()) ~op_overhead:0 in
   let heap = Sb.create_heap ctx ~lock_kind:Cfg.Tas_backoff in
   (ctx, heap)
 
@@ -101,7 +108,7 @@ let pt_arena_growth () =
      the paper's observation (22 arenas for 16 threads). *)
   for seed = 1 to 3 do
     let s = sim ~cpus:8 ~seed ~max_cycles:20_000_000_000 () in
-    let rt = Rt.simulated s in
+    let rt = s in
     let t = Pt.create rt (Cfg.make ()) in
     let body tid =
       let rng = Prng.create tid in
@@ -127,7 +134,7 @@ let pt_arena_growth () =
 
 let pt_arena_limit () =
   let s = sim ~cpus:8 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = Pt.create rt (Cfg.make ~arena_limit:3 ()) in
   let body _ =
     for _ = 1 to 300 do
@@ -143,10 +150,10 @@ let pt_free_goes_home () =
   (* A block freed by another thread lands back in its source arena:
      space stays bounded when a producer feeds a consumer. *)
   let s = sim ~cpus:2 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = Pt.create rt (Cfg.make ()) in
   let handoff = Array.make 2_000 0 in
-  let round = Rt.Atomic.make rt 0 in
+  let round = Sim_rt.Atomic.make rt 0 in
   ignore
     (Sim.run s
        [|
@@ -155,24 +162,24 @@ let pt_free_goes_home () =
              for i = 0 to 199 do
                handoff.(i) <- Pt.malloc t 32
              done;
-             Rt.Atomic.set round (r + 1);
-             while Rt.Atomic.get round >= 0 && Rt.Atomic.get round <> -(r + 1)
+             Sim_rt.Atomic.set round (r + 1);
+             while Sim_rt.Atomic.get round >= 0 && Sim_rt.Atomic.get round <> -(r + 1)
              do
-               Rt.yield rt
+               Sim_rt.yield rt
              done
            done);
          (fun _ ->
            for r = 0 to 9 do
-             while Rt.Atomic.get round <> r + 1 do
-               Rt.yield rt
+             while Sim_rt.Atomic.get round <> r + 1 do
+               Sim_rt.yield rt
              done;
              for i = 0 to 199 do
                Pt.free t handoff.(i)
              done;
-             Rt.Atomic.set round (-(r + 1))
+             Sim_rt.Atomic.set round (-(r + 1))
            done);
        |]);
-  let space = Mm_mem.Space.read (Store.space (Pt.store t)) in
+  let space = Space_s.read (Store_s.space (Pt.store t)) in
   Alcotest.(check bool) "bounded space under producer-consumer" true
     (space.Mm_mem.Space.mapped_peak <= 20 * 16 * 1024);
   Pt.check_invariants t
@@ -180,7 +187,7 @@ let pt_free_goes_home () =
 (* ---------------- hoard ---------------- *)
 
 let hoard_empty_sb_migrates () =
-  let t = Hd.create Rt.real (Cfg.make ~nheaps:2 ~sbsize:4096 ()) in
+  let t = Hd.create () (Cfg.make ~nheaps:2 ~sbsize:4096 ()) in
   (* Allocate several superblocks' worth, then free everything: Hoard's
      invariant moves empty superblocks to the global heap instead of
      letting the processor heap hoard them. *)
@@ -200,12 +207,12 @@ let hoard_empty_sb_migrates () =
 let hoard_space_bounded () =
   (* The Hoard invariant bounds blowup under repeated burst/free
      cycles. *)
-  let t = Hd.create Rt.real (Cfg.make ~nheaps:2 ~sbsize:4096 ()) in
+  let t = Hd.create () (Cfg.make ~nheaps:2 ~sbsize:4096 ()) in
   for _ = 1 to 10 do
     let addrs = Array.init 1_000 (fun _ -> Hd.malloc t 8) in
     Array.iter (Hd.free t) addrs
   done;
-  let space = Mm_mem.Space.read (Store.space (Hd.store t)) in
+  let space = Space_r.read (Store.space (Hd.store t)) in
   Alcotest.(check bool) "peak bounded across bursts" true
     (space.Mm_mem.Space.mapped_peak <= 40 * 4096);
   Hd.check_invariants t
@@ -214,7 +221,7 @@ let hoard_space_bounded () =
 
 let libc_serializes () =
   (* Every operation takes the single lock: acquisitions ~= op count. *)
-  let t = Lc.create Rt.real (Cfg.make ()) in
+  let t = Lc.create () (Cfg.make ()) in
   let addrs = Array.init 100 (fun _ -> Lc.malloc t 8) in
   Array.iter (Lc.free t) addrs;
   Lc.check_invariants t

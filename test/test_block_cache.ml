@@ -14,8 +14,8 @@
      blocks but never lets them be allocated twice. *)
 
 open Mm_runtime
-module A = Mm_core.Lf_alloc
-module Bc = Mm_core.Block_cache
+module A = Mm_core.Lf_alloc.Make (Sim_rt)
+module Bc = Mm_core.Block_cache.Make (Sim_rt)
 module L = Mm_core.Labels
 module Cfg = Mm_mem.Alloc_config
 module O = Mm_check.Oracle
@@ -31,7 +31,7 @@ let cached_cfg =
    operation stream and the cache geometry, independent of scheduling. *)
 let batch_accounting () =
   let s = sim ~cpus:1 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = Bc.create rt cached_cfg in
   let body _ =
     let n = 6 in
@@ -64,7 +64,7 @@ let batch_accounting () =
     Alcotest.(check bool) "overflow flush fired" true (s2.Bc.flushes >= 1);
     Alcotest.(check bool) "cache bounded" true
       (Bc.cached_blocks t
-      <= Rt.max_threads * cached_cfg.Cfg.cache_blocks);
+      <= Sim_rt.max_threads * cached_cfg.Cfg.cache_blocks);
     Bc.flush_current t;
     Alcotest.(check int) "flush_current drains the cache" 0
       (Bc.cached_blocks t);
@@ -79,7 +79,7 @@ let batch_accounting () =
    default configuration is the verbatim paper allocator. *)
 let trace_workload mk =
   let s = sim ~cpus:4 ~seed:7 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let malloc, free = mk rt in
   let logs = Array.init 4 (fun _ -> ref []) in
   let body tid =
@@ -123,7 +123,7 @@ let remote_free_batching () =
       ~cache:true ~cache_blocks:4 ~cache_batch:2 ()
   in
   let s = sim ~cpus:2 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = Bc.create rt cfg in
   let blocks = Array.make 4 0 in
   let ready = ref false in
@@ -135,7 +135,7 @@ let remote_free_batching () =
   in
   let consumer _ =
     while not !ready do
-      Rt.yield rt
+      Sim_rt.yield rt
     done;
     Array.iter (Bc.free t) blocks
   in
@@ -169,7 +169,7 @@ let kill_in_window label () =
     else Sim.Continue
   in
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = Bc.create rt cached_cfg in
   let orc = O.create_alloc () in
   let m () =

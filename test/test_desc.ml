@@ -3,9 +3,11 @@
    lists (both policies). *)
 
 open Mm_runtime
-module D = Mm_core.Descriptor
-module Pool = Mm_core.Desc_pool
-module Pl = Mm_core.Partial_list
+module D = Mm_core.Descriptor.Make (Real_rt)
+module Pool = Mm_core.Desc_pool.Make (Real_rt)
+module Pl = Mm_core.Partial_list.Make (Real_rt)
+module D_s = Mm_core.Descriptor.Make (Sim_rt)
+module Pool_s = Mm_core.Desc_pool.Make (Sim_rt)
 module Anchor = Mm_core.Anchor
 module Cfg = Mm_mem.Alloc_config
 open Util
@@ -13,7 +15,7 @@ open Util
 (* ---------------- Descriptor table ---------------- *)
 
 let table_basics () =
-  let tbl = D.create_table Rt.real ~capacity:128 in
+  let tbl = D.create_table () ~capacity:128 in
   let batch = D.alloc_batch tbl 10 in
   Alcotest.(check int) "batch size" 10 (List.length batch);
   let ids = List.map (fun d -> d.D.id) batch in
@@ -25,7 +27,7 @@ let table_basics () =
   Alcotest.(check int) "live count" 10 (D.live_count tbl)
 
 let table_discard_recycles () =
-  let tbl = D.create_table Rt.real ~capacity:128 in
+  let tbl = D.create_table () ~capacity:128 in
   let d = List.hd (D.alloc_batch tbl 1) in
   let id = d.D.id in
   D.discard tbl d;
@@ -37,7 +39,7 @@ let table_discard_recycles () =
   Alcotest.(check int) "id recycled" id d2.D.id
 
 let table_bounds () =
-  let tbl = D.create_table Rt.real ~capacity:8 in
+  let tbl = D.create_table () ~capacity:8 in
   Alcotest.(check bool) "id 0 is null" true
     (match D.get tbl 0 with
     | _ -> false
@@ -53,8 +55,8 @@ let pool_kinds =
   [ ("hazard", Cfg.Hazard); ("tagged", Cfg.Tagged); ("reuse", Cfg.Reuse) ]
 
 let pool_alloc_retire kind () =
-  let tbl = D.create_table Rt.real ~capacity:1024 in
-  let pool = Pool.create Rt.real tbl ~kind ~batch_size:8 () in
+  let tbl = D.create_table () ~capacity:1024 in
+  let pool = Pool.create () tbl ~kind ~batch_size:8 () in
   let d1 = Pool.alloc pool in
   let d2 = Pool.alloc pool in
   Alcotest.(check bool) "distinct descriptors" true (d1 != d2);
@@ -68,20 +70,19 @@ let pool_exclusive kind () =
   (* Concurrent allocs never hand the same descriptor to two threads. *)
   for seed = 1 to 8 do
     let s = sim ~cpus:4 ~seed () in
-    let rt = Rt.simulated s in
-    let tbl = D.create_table rt ~capacity:4096 in
-    let pool = Pool.create rt tbl ~kind ~batch_size:4 () in
+    let tbl = D_s.create_table s ~capacity:4096 in
+    let pool = Pool_s.create s tbl ~kind ~batch_size:4 () in
     let owned = Array.make 4 [] in
     let body tid =
       for _ = 1 to 50 do
-        let d = Pool.alloc pool in
+        let d = Pool_s.alloc pool in
         owned.(tid) <- d :: owned.(tid);
         (* Return roughly half, keep the rest. *)
         if List.length owned.(tid) > 3 then begin
           match owned.(tid) with
           | d :: rest ->
               owned.(tid) <- rest;
-              Pool.retire pool d
+              Pool_s.retire pool d
           | [] -> ()
         end
       done
@@ -89,7 +90,7 @@ let pool_exclusive kind () =
     ignore (Sim.run s (Array.init 4 (fun i _ -> body i)));
     (* No descriptor may be held by two threads at once. *)
     let all = List.concat (Array.to_list owned) in
-    let ids = List.map (fun d -> d.D.id) all in
+    let ids = List.map (fun d -> d.D_s.id) all in
     Alcotest.(check int)
       (Printf.sprintf "seed %d: held descriptors unique" seed)
       (List.length ids)
@@ -97,8 +98,8 @@ let pool_exclusive kind () =
   done
 
 let pool_reuses kind () =
-  let tbl = D.create_table Rt.real ~capacity:256 in
-  let pool = Pool.create Rt.real tbl ~kind ~batch_size:4 () in
+  let tbl = D.create_table () ~capacity:256 in
+  let pool = Pool.create () tbl ~kind ~batch_size:4 () in
   let d = Pool.alloc pool in
   Pool.retire pool d;
   Pool.flush pool;
@@ -117,8 +118,8 @@ let reuse_slot_identity () =
   (* batch_size 1: the second retire spills, so the two reallocations
      exercise both return paths — private LIFO and shared-stack steal —
      and both must hand back the very same immortal slots. *)
-  let tbl = D.create_table Rt.real ~capacity:256 in
-  let pool = Pool.create Rt.real tbl ~kind:Cfg.Reuse ~batch_size:1 () in
+  let tbl = D.create_table () ~capacity:256 in
+  let pool = Pool.create () tbl ~kind:Cfg.Reuse ~batch_size:1 () in
   let a = Pool.alloc pool in
   let b = Pool.alloc pool in
   let live = D.live_count tbl in
@@ -139,15 +140,15 @@ let reuse_tag_monotonic () =
      tag its last life left — the per-slot tag sequence is strictly
      increasing across lives, which is the whole ABA argument for
      skipping reclamation (DESIGN.md §17). *)
-  let tbl = D.create_table Rt.real ~capacity:64 in
-  let pool = Pool.create Rt.real tbl ~kind:Cfg.Reuse ~batch_size:1 () in
+  let tbl = D.create_table () ~capacity:64 in
+  let pool = Pool.create () tbl ~kind:Cfg.Reuse ~batch_size:1 () in
   let last = Hashtbl.create 8 in
   for _ = 1 to 16 do
     let a = Pool.alloc pool in
     let b = Pool.alloc pool in
     List.iter
       (fun (d : D.t) ->
-        let w = Rt.Atomic.get d.D.anchor in
+        let w = Real_rt.Atomic.get d.D.anchor in
         let tag = Anchor.tag w in
         (match Hashtbl.find_opt last d.D.id with
         | Some prev ->
@@ -156,7 +157,7 @@ let reuse_tag_monotonic () =
               prev tag
         | None -> ());
         let w' = Anchor.incr_tag w in
-        Rt.Atomic.set d.D.anchor w';
+        Real_rt.Atomic.set d.D.anchor w';
         Hashtbl.replace last d.D.id (Anchor.tag w'))
       [ a; b ];
     Pool.retire pool a;
@@ -176,15 +177,14 @@ let reuse_kill_in_window label () =
     else Sim.Continue
   in
   let s = sim ~cpus:4 ~on_label () in
-  let rt = Rt.simulated s in
-  let tbl = D.create_table rt ~capacity:4096 in
-  let pool = Pool.create rt tbl ~kind:Cfg.Reuse ~batch_size:1 () in
+  let tbl = D_s.create_table s ~capacity:4096 in
+  let pool = Pool_s.create s tbl ~kind:Cfg.Reuse ~batch_size:1 () in
   let body _tid =
     for _ = 1 to 12 do
-      let a = Pool.alloc pool in
-      let b = Pool.alloc pool in
-      Pool.retire pool a;
-      Pool.retire pool b
+      let a = Pool_s.alloc pool in
+      let b = Pool_s.alloc pool in
+      Pool_s.retire pool a;
+      Pool_s.retire pool b
     done
   in
   let r = Sim.run s (Array.init 4 (fun i _ -> body i)) in
@@ -195,10 +195,10 @@ let reuse_kill_in_window label () =
     (Sim.run s
        [|
          (fun _ ->
-           let a = Pool.alloc pool in
-           let b = Pool.alloc pool in
-           Pool.retire pool a;
-           Pool.retire pool b;
+           let a = Pool_s.alloc pool in
+           let b = Pool_s.alloc pool in
+           Pool_s.retire pool a;
+           Pool_s.retire pool b;
            ok := true);
        |]);
   Alcotest.(check bool) "pool usable after kill" true !ok
@@ -209,12 +209,12 @@ let policies = [ ("fifo", Cfg.Fifo); ("lifo", Cfg.Lifo) ]
 
 let mk_desc tbl state =
   let d = List.hd (D.alloc_batch tbl 1) in
-  Rt.Atomic.set d.D.anchor (Anchor.make ~avail:0 ~count:1 ~state ~tag:0);
+  Real_rt.Atomic.set d.D.anchor (Anchor.make ~avail:0 ~count:1 ~state ~tag:0);
   d
 
 let pl_put_get policy () =
-  let tbl = D.create_table Rt.real ~capacity:128 in
-  let l = Pl.create Rt.real policy in
+  let tbl = D.create_table () ~capacity:128 in
+  let l = Pl.create () policy in
   Alcotest.(check bool) "get empty" true (Pl.get l = None);
   let a = mk_desc tbl Anchor.Partial in
   let b = mk_desc tbl Anchor.Partial in
@@ -229,8 +229,8 @@ let pl_put_get policy () =
   Alcotest.(check bool) "drained" true (Pl.get l = None)
 
 let pl_remove_empty policy () =
-  let tbl = D.create_table Rt.real ~capacity:128 in
-  let l = Pl.create Rt.real policy in
+  let tbl = D.create_table () ~capacity:128 in
+  let l = Pl.create () policy in
   let e1 = mk_desc tbl Anchor.Empty in
   let p1 = mk_desc tbl Anchor.Partial in
   let e2 = mk_desc tbl Anchor.Empty in
@@ -257,8 +257,8 @@ let pl_remove_empty_buried_fifo () =
   (* Regression: the FIFO arm scans up to its bound (4) of non-empty
      descriptors, so one call reclaims an EMPTY descriptor buried behind
      three partials (the old bound of two moves left it stranded). *)
-  let tbl = D.create_table Rt.real ~capacity:128 in
-  let l = Pl.create Rt.real Cfg.Fifo in
+  let tbl = D.create_table () ~capacity:128 in
+  let l = Pl.create () Cfg.Fifo in
   let ps = List.init 3 (fun _ -> mk_desc tbl Anchor.Partial) in
   let e = mk_desc tbl Anchor.Empty in
   List.iter (Pl.put l) ps;
@@ -270,14 +270,14 @@ let pl_remove_empty_buried_fifo () =
   Alcotest.(check int) "partials all retained" 3 (Pl.length l)
 
 let pl_remove_empty_on_empty_list policy () =
-  let l = Pl.create Rt.real policy in
+  let l = Pl.create () policy in
   Pl.remove_empty l ~retire:(fun _ -> Alcotest.fail "nothing to retire")
 
 let pl_remove_empty_all_partial policy () =
   (* A list with only non-empty descriptors loses nothing and keeps all
      descriptors reachable. *)
-  let tbl = D.create_table Rt.real ~capacity:128 in
-  let l = Pl.create Rt.real policy in
+  let tbl = D.create_table () ~capacity:128 in
+  let l = Pl.create () policy in
   let ds = List.init 5 (fun _ -> mk_desc tbl Anchor.Partial) in
   List.iter (Pl.put l) ds;
   Pl.remove_empty l ~retire:(fun _ -> Alcotest.fail "retired a partial");

@@ -21,8 +21,10 @@
    invariant checks. *)
 
 open Mm_runtime
-module A = Mm_core.Lf_alloc
-module Bc = Mm_core.Block_cache
+module A = Mm_core.Lf_alloc.Make (Sim_rt)
+module Ar = Mm_core.Lf_alloc.Make (Real_rt)
+module Bc = Mm_core.Block_cache.Make (Sim_rt)
+module D = Mm_core.Descriptor.Make (Sim_rt)
 module L = Mm_core.Labels
 module Cfg = Mm_mem.Alloc_config
 open Util
@@ -69,7 +71,7 @@ let probe_body ~malloc ~free n tid =
    batch_size 1: the private LIFO holds one descriptor, so every
    second retire spills to the shared stack (desc.spill) and a drained
    LIFO steals a spilled descriptor back (desc.steal). *)
-module P = Mm_core.Desc_pool
+module P = Mm_core.Desc_pool.Make (Sim_rt)
 
 let probe_reuse pool n =
   for _ = 1 to n do
@@ -91,7 +93,7 @@ let probe_pair rt =
   let t = A.create rt probe_cfg in
   let tc = Bc.create rt cached_cfg in
   let ts = A.create rt sbc_cfg in
-  let table = Mm_core.Descriptor.create_table rt ~capacity:256 in
+  let table = D.create_table rt ~capacity:256 in
   let pool = P.create rt table ~kind:Cfg.Reuse ~batch_size:1 () in
   let body n tid =
     probe_body ~malloc:(A.malloc t) ~free:(A.free t) n tid;
@@ -108,7 +110,7 @@ let coverage () =
     Sim.Continue
   in
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, _pool, body = probe_pair (Rt.simulated s) in
+  let t, tc, ts, _pool, body = probe_pair s in
   ignore (Sim.run s (Array.init 4 (fun _ -> body 4)));
   List.iter
     (fun l ->
@@ -141,7 +143,7 @@ let pause_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, _pool, pbody = probe_pair (Rt.simulated s) in
+  let t, tc, ts, _pool, pbody = probe_pair s in
   let body tid =
     pbody 3 tid;
     finished.(tid) <- true
@@ -168,7 +170,7 @@ let kill_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, pool, pbody = probe_pair (Rt.simulated s) in
+  let t, tc, ts, pool, pbody = probe_pair s in
   let completed = Array.make threads false in
   let body tid =
     pbody 3 tid;
@@ -207,7 +209,7 @@ let kill_at label () =
 let fuzz_invariants () =
   for seed = 1 to 20 do
     let s = sim ~cpus:4 ~seed ~max_cycles:50_000_000_000 () in
-    let t = A.create (Rt.simulated s) probe_cfg in
+    let t = A.create s probe_cfg in
     ignore
       (Sim.run s
          (Array.init 4 (fun _ ->
@@ -223,7 +225,7 @@ let fuzz_default_config () =
      credits, hazard pool) and mixed sizes. *)
   for seed = 1 to 10 do
     let s = sim ~cpus:8 ~seed ~max_cycles:50_000_000_000 () in
-    let t = A.create (Rt.simulated s) (Cfg.make ()) in
+    let t = A.create s (Cfg.make ()) in
     let body tid =
       let rng = Prng.create (seed + (tid * 17)) in
       let slots = Array.make 48 0 in
@@ -249,11 +251,11 @@ let real_runtime_stress () =
   Fun.protect
     ~finally:(fun () -> Rt.real_label_hook := (fun _ -> ()))
     (fun () ->
-      let t = A.create Rt.real probe_cfg in
-      let body tid = probe_body ~malloc:(A.malloc t) ~free:(A.free t) 3 tid in
+      let t = Ar.create () probe_cfg in
+      let body tid = probe_body ~malloc:(Ar.malloc t) ~free:(Ar.free t) 3 tid in
       ignore (Rt.parallel_run Rt.real (Array.init 4 (fun i _ -> body i)));
-      A.check_invariants t;
-      let m, f = A.op_counts t in
+      Ar.check_invariants t;
+      let m, f = Ar.op_counts t in
       Alcotest.(check int) "conservation" m f)
 
 let cases =

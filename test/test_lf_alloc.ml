@@ -4,12 +4,21 @@
    invariant checker. *)
 
 open Mm_runtime
-module A = Mm_core.Lf_alloc
+module A = Mm_core.Lf_alloc.Make (Real_rt)
+module As = Mm_core.Lf_alloc.Make (Sim_rt)
 module L = Mm_core.Labels
 module Anchor = Mm_core.Anchor
-module D = Mm_core.Descriptor
-module Store = Mm_mem.Store
+module D = Mm_core.Descriptor.Make (Real_rt)
+module Pl = Mm_core.Partial_list.Make (Real_rt)
+module Pool = Mm_core.Desc_pool.Make (Real_rt)
 module Cfg = Mm_mem.Alloc_config
+
+module Store = struct
+  include Mm_mem.Store
+  include Mm_mem.Store.Make (Real_rt)
+end
+
+module Store_s = Mm_mem.Store.Make (Sim_rt)
 open Util
 
 (* Small superblocks make state transitions cheap to reach. *)
@@ -17,11 +26,13 @@ let small_cfg = Cfg.make ~nheaps:1 ~sbsize:4096 ()
 let probe_kill_cfg = Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ()
 
 let blocks_per_sb t = Mm_mem.Size_class.blocks_per_superblock (A.size_classes t) 0
+let blocks_per_sb_s t =
+  Mm_mem.Size_class.blocks_per_superblock (As.size_classes t) 0
 
 (* ---------------- sequential state machine ---------------- *)
 
 let fill_superblock () =
-  let t = A.create Rt.real small_cfg in
+  let t = A.create () small_cfg in
   let n = blocks_per_sb t in
   (* Fill the first superblock completely. *)
   let addrs = Array.init n (fun _ -> A.malloc t 8) in
@@ -29,18 +40,18 @@ let fill_superblock () =
   let prefix = Store.read_word (A.store t) (addrs.(0) - 8) in
   let d = D.get (A.descriptor_table t) (Mm_mem.Block_prefix.desc_id prefix) in
   Alcotest.(check bool) "superblock is FULL" true
-    (Anchor.state (Rt.Atomic.get d.D.anchor) = Anchor.Full);
-  Alcotest.(check int) "count 0" 0 (Anchor.count (Rt.Atomic.get d.D.anchor));
+    (Anchor.state (Real_rt.Atomic.get d.D.anchor) = Anchor.Full);
+  Alcotest.(check int) "count 0" 0 (Anchor.count (Real_rt.Atomic.get d.D.anchor));
   (* First free makes it PARTIAL and parks it in the heap Partial slot. *)
   A.free t addrs.(0);
   Alcotest.(check bool) "PARTIAL after first free" true
-    (Anchor.state (Rt.Atomic.get d.D.anchor) = Anchor.Partial);
+    (Anchor.state (Real_rt.Atomic.get d.D.anchor) = Anchor.Partial);
   (match A.heap_partial_desc t ~sc:0 ~heap:0 with
   | Some d' -> Alcotest.(check bool) "in Partial slot" true (d' == d)
   | None ->
       (* It may instead be in the size-class list if the slot was taken. *)
       Alcotest.(check bool) "in partial structures" true
-        (List.memq d (Mm_core.Partial_list.to_list (A.partial_list t ~sc:0))));
+        (List.memq d (Pl.to_list (A.partial_list t ~sc:0))));
   A.check_invariants t;
   (* Freeing everything else empties the superblock and returns it. *)
   let munmaps_before = (Store.os_stats (A.store t)).Store.munmap_calls in
@@ -48,7 +59,7 @@ let fill_superblock () =
     A.free t addrs.(i)
   done;
   Alcotest.(check bool) "EMPTY at the end" true
-    (Anchor.state (Rt.Atomic.get d.D.anchor) = Anchor.Empty);
+    (Anchor.state (Real_rt.Atomic.get d.D.anchor) = Anchor.Empty);
   Alcotest.(check int) "superblock munmapped" (munmaps_before + 1)
     (Store.os_stats (A.store t)).Store.munmap_calls;
   A.check_invariants t
@@ -60,29 +71,29 @@ let malloc_from_partial_path () =
     Sim.Continue
   in
   let s = sim ~cpus:1 ~on_label () in
-  let t = A.create (Rt.simulated s) small_cfg in
-  let n = blocks_per_sb t in
+  let t = As.create s small_cfg in
+  let n = blocks_per_sb_s t in
   ignore
     (Sim.run s
        [|
          (fun _ ->
-           let addrs = Array.init n (fun _ -> A.malloc t 8) in
-           A.free t addrs.(0);
+           let addrs = Array.init n (fun _ -> As.malloc t 8) in
+           As.free t addrs.(0);
            (* Active is gone (FULL), one block in the Partial slot:
               the next malloc must take the MallocFromPartial path. *)
-           let b = A.malloc t 8 in
+           let b = As.malloc t 8 in
            Alcotest.(check int) "recycled the freed slot" addrs.(0) b;
-           A.free t b;
-           Array.iteri (fun i a -> if i > 0 then A.free t a) addrs);
+           As.free t b;
+           Array.iteri (fun i a -> if i > 0 then As.free t a) addrs);
        |]);
   List.iter
     (fun l ->
       Alcotest.(check bool) ("hit " ^ l) true (Hashtbl.mem hits l))
     [ L.mp_got_partial; L.mp_reserve_cas; L.mp_pop_cas; L.free_empty ];
-  A.check_invariants t
+  As.check_invariants t
 
 let credits_bounds () =
-  let t = A.create Rt.real (Cfg.make ~nheaps:1 ~maxcredits:64 ()) in
+  let t = A.create () (Cfg.make ~nheaps:1 ~maxcredits:64 ()) in
   let a = A.malloc t 8 in
   (match A.heap_active_desc t ~sc:0 ~heap:0 with
   | Some (_, credits) ->
@@ -95,7 +106,7 @@ let credits_bounds () =
 let maxcredits_one () =
   (* The degenerate credits configuration exercises UpdateActive on
      every allocation. *)
-  let t = A.create Rt.real (Cfg.make ~nheaps:1 ~maxcredits:1 ()) in
+  let t = A.create () (Cfg.make ~nheaps:1 ~maxcredits:1 ()) in
   let addrs = Array.init 500 (fun _ -> A.malloc t 8) in
   Alcotest.(check int) "distinct" 500
     (List.length (List.sort_uniq compare (Array.to_list addrs)));
@@ -103,7 +114,7 @@ let maxcredits_one () =
   A.check_invariants t
 
 let op_counts () =
-  let t = A.create Rt.real small_cfg in
+  let t = A.create () small_cfg in
   let addrs = Array.init 10 (fun _ -> A.malloc t 8) in
   Array.iter (A.free t) addrs;
   Alcotest.(check (pair int int)) "counts" (10, 10) (A.op_counts t)
@@ -129,26 +140,26 @@ let ua_return_credits_path () =
     end
   in
   let s = sim ~cpus:2 ~on_label () in
-  let t = A.create (Rt.simulated s) (Cfg.make ~nheaps:1 ~maxcredits:1 ()) in
+  let t = As.create s (Cfg.make ~nheaps:1 ~maxcredits:1 ()) in
   ignore
     (Sim.run s
        [|
          (fun _ ->
            (* With maxcredits=1 the second malloc reaches UpdateActive. *)
-           let a = A.malloc t 8 in
-           let b = A.malloc t 8 in
-           A.free t a;
-           A.free t b);
+           let a = As.malloc t 8 in
+           let b = As.malloc t 8 in
+           As.free t a;
+           As.free t b);
          (fun _ ->
            while not !blocked_once do
-             Rt.yield (A.rt t)
+             Sim_rt.yield (As.rt t)
            done;
-           let c = A.malloc t 8 in
-           A.free t c;
+           let c = As.malloc t 8 in
+           As.free t c;
            t1_done := true);
        |]);
   Alcotest.(check bool) "took the return-credits path" true (!ua_returned >= 1);
-  A.check_invariants t
+  As.check_invariants t
 
 (* MallocFromNewSB race (Fig. 4 lines 16-17): both threads build a new
    superblock; the loser must free its superblock and retire the
@@ -164,27 +175,27 @@ let mnsb_race_path () =
     else Sim.Continue
   in
   let s = sim ~cpus:2 ~on_label () in
-  let t = A.create (Rt.simulated s) (Cfg.make ~nheaps:1 ()) in
+  let t = As.create s (Cfg.make ~nheaps:1 ()) in
   let results = Array.make 2 0 in
   ignore
     (Sim.run s
        [|
-         (fun _ -> results.(0) <- A.malloc t 8);
+         (fun _ -> results.(0) <- As.malloc t 8);
          (fun _ ->
            while not !blocked_once do
-             Rt.yield (A.rt t)
+             Sim_rt.yield (As.rt t)
            done;
-           results.(1) <- A.malloc t 8;
+           results.(1) <- As.malloc t 8;
            t1_done := true);
        |]);
   Alcotest.(check bool) "both mallocs succeeded, distinct" true
     (results.(0) <> 0 && results.(1) <> 0 && results.(0) <> results.(1));
   (* The losing superblock went straight back to the OS. *)
-  let os = Store.os_stats (A.store t) in
+  let os = Store_s.os_stats (As.store t) in
   Alcotest.(check int) "loser freed its superblock" 1 os.Store.sb_frees;
-  A.free t results.(0);
-  A.free t results.(1);
-  A.check_invariants t
+  As.free t results.(0);
+  As.free t results.(1);
+  As.check_invariants t
 
 (* The paper's §3.2.3 ABA scenario: thread 0 pauses between reading the
    anchor (and the next pointer) and its pop CAS; thread 1 pops that
@@ -208,7 +219,7 @@ let aba_tag_defence () =
     else Sim.Continue
   in
   let s = sim ~cpus:2 ~on_label () in
-  let t = A.create (Rt.simulated s) (Cfg.make ~nheaps:1 ()) in
+  let t = As.create s (Cfg.make ~nheaps:1 ()) in
   let warm = ref 0 and a0 = ref 0 in
   let t1_addrs = ref [] in
   ignore
@@ -217,16 +228,16 @@ let aba_tag_defence () =
          (fun _ ->
            (* Warm the heap so thread 0's next malloc pops from the
               active superblock. *)
-           warm := A.malloc t 8;
-           a0 := A.malloc t 8);
+           warm := As.malloc t 8;
+           a0 := As.malloc t 8);
          (fun _ ->
            while not !blocked_once do
-             Rt.yield (A.rt t)
+             Sim_rt.yield (As.rt t)
            done;
            (* Reproduce A-B-A on the free list head. *)
-           let x = A.malloc t 8 in
-           let y = A.malloc t 8 in
-           A.free t x;
+           let x = As.malloc t 8 in
+           let y = As.malloc t 8 in
+           As.free t x;
            (* x is free again: thread 0's retried pop may legitimately
               return it. Only y remains live from this thread. *)
            t1_addrs := [ y ];
@@ -238,12 +249,12 @@ let aba_tag_defence () =
   Alcotest.(check int) "no double allocation among live blocks"
     (List.length live)
     (List.length (List.sort_uniq compare live));
-  A.check_invariants t
+  As.check_invariants t
 
 (* ---------------- invariant checker self-test ---------------- *)
 
 let checker_detects_prefix_corruption () =
-  let t = A.create Rt.real small_cfg in
+  let t = A.create () small_cfg in
   let a = A.malloc t 8 in
   Store.write_word (A.store t) (a - 8) (Mm_mem.Block_prefix.small ~desc_id:77);
   Alcotest.(check bool) "corrupt prefix detected" true
@@ -252,7 +263,7 @@ let checker_detects_prefix_corruption () =
     | exception Failure _ -> true)
 
 let checker_detects_freelist_corruption () =
-  let t = A.create Rt.real small_cfg in
+  let t = A.create () small_cfg in
   let a = A.malloc t 8 in
   let b = A.malloc t 8 in
   A.free t a;
@@ -269,7 +280,7 @@ let checker_detects_freelist_corruption () =
 let config_matrix () =
   List.iter
     (fun cfg ->
-      let t = A.create Rt.real cfg in
+      let t = A.create () cfg in
       let addrs = Array.init 400 (fun i -> A.malloc t (1 + (i mod 200))) in
       Alcotest.(check int) "distinct" 400
         (List.length (List.sort_uniq compare (Array.to_list addrs)));
@@ -291,37 +302,37 @@ let uniproc_concurrent () =
      heap and must still be correct. *)
   for seed = 1 to 5 do
     let s = sim ~cpus:4 ~seed () in
-    let t = A.create (Rt.simulated s) (Cfg.make ~nheaps:1 ()) in
+    let t = As.create s (Cfg.make ~nheaps:1 ()) in
     let body tid =
       let rng = Prng.create tid in
       let slots = Array.make 16 0 in
       for _ = 1 to 300 do
         let i = Prng.int rng 16 in
         if slots.(i) <> 0 then begin
-          A.free t slots.(i);
+          As.free t slots.(i);
           slots.(i) <- 0
         end
-        else slots.(i) <- A.malloc t (Prng.int_in rng 1 100)
+        else slots.(i) <- As.malloc t (Prng.int_in rng 1 100)
       done;
-      Array.iter (fun a -> if a <> 0 then A.free t a) slots
+      Array.iter (fun a -> if a <> 0 then As.free t a) slots
     in
     ignore (Sim.run s (Array.init 4 (fun i _ -> body i)));
-    A.check_invariants t
+    As.check_invariants t
   done
 
 let introspection () =
-  let t = A.create Rt.real small_cfg in
+  let t = A.create () small_cfg in
   Alcotest.(check bool) "no active before first malloc" true
     (A.heap_active_desc t ~sc:0 ~heap:0 = None);
   let a = A.malloc t 8 in
   Alcotest.(check bool) "active after malloc" true
     (A.heap_active_desc t ~sc:0 ~heap:0 <> None);
   Alcotest.(check int) "nheaps honours config" 1 (A.nheaps t);
-  Alcotest.(check bool) "pool reachable" true (Mm_core.Desc_pool.available (A.desc_pool t) >= 0);
+  Alcotest.(check bool) "pool reachable" true (Pool.available (A.desc_pool t) >= 0);
   A.free t a
 
 let wild_free_guard () =
-  let t = A.create Rt.real small_cfg in
+  let t = A.create () small_cfg in
   let a = A.malloc t 8 in
   (* Interior pointer: not a block boundary. *)
   Alcotest.(check bool) "interior pointer rejected" true
@@ -346,17 +357,17 @@ let multi_kill_fuzz () =
       else Sim.Continue
     in
     let s = sim ~cpus:4 ~seed ~max_cycles:50_000_000_000 ~on_label () in
-    let t = A.create (Rt.simulated s) probe_kill_cfg in
+    let t = As.create s probe_kill_cfg in
     let completed = ref 0 in
     let body tid =
       let rng = Prng.create tid in
       let burst = Array.make 200 0 in
       for _ = 1 to 3 do
         for i = 0 to 199 do
-          burst.(i) <- A.malloc t 8
+          burst.(i) <- As.malloc t 8
         done;
         Prng.shuffle rng burst;
-        Array.iter (A.free t) burst
+        Array.iter (As.free t) burst
       done;
       incr completed
     in

@@ -3,17 +3,23 @@
    conservation under both runtimes and several simulated schedules. *)
 
 open Mm_runtime
-module Ts = Mm_lockfree.Treiber_stack
-module Msq = Mm_lockfree.Ms_queue
-module Hp = Mm_lockfree.Hazard_pointers
-module Tis = Mm_lockfree.Tagged_id_stack
-module Backoff = Mm_lockfree.Backoff
+
+(* Sequential semantics run on the real instantiation; schedule-driven
+   concurrency tests on the simulated one. *)
+module Ts = Mm_lockfree.Treiber_stack.Make (Real_rt)
+module Msq = Mm_lockfree.Ms_queue.Make (Real_rt)
+module Hp = Mm_lockfree.Hazard_pointers.Make (Real_rt)
+module Tis = Mm_lockfree.Tagged_id_stack.Make (Real_rt)
+module Backoff = Mm_lockfree.Backoff.Make (Real_rt)
+module Msq_s = Mm_lockfree.Ms_queue.Make (Sim_rt)
+module Hp_s = Mm_lockfree.Hazard_pointers.Make (Sim_rt)
+module Tis_s = Mm_lockfree.Tagged_id_stack.Make (Sim_rt)
 open Util
 
 (* ---------------- Treiber stack ---------------- *)
 
 let treiber_seq () =
-  let s = Ts.create Rt.real in
+  let s = Ts.create () in
   Alcotest.(check bool) "empty" true (Ts.is_empty s);
   Alcotest.(check (option int)) "pop empty" None (Ts.pop s);
   Ts.push s 1;
@@ -31,7 +37,7 @@ let treiber_qcheck =
   qcheck "treiber matches list model (sequential)"
     QCheck2.Gen.(list (int_range 0 2))
     (fun ops ->
-      let s = Ts.create Rt.real in
+      let s = Ts.create () in
       let model = ref [] in
       List.iteri
         (fun i op ->
@@ -54,59 +60,66 @@ let treiber_qcheck =
       Ts.to_list s = !model)
 
 (* Conservation: [producers] push disjoint values, [consumers] pop;
-   nothing lost, nothing duplicated. *)
-let stack_conservation rt mk_run =
-  let s = Ts.create rt in
-  let n = 200 and producers = 2 and consumers = 2 in
-  let popped = Array.make (producers * n) false in
-  let producer p _ =
-    for i = 0 to n - 1 do
-      Ts.push s ((p * n) + i)
-    done
-  in
-  let consumer _ _ =
-    for _ = 1 to n do
+   nothing lost, nothing duplicated. Runtime-generic, instantiated for
+   both backends. *)
+module Conserve (Rt : Mm_runtime.Runtime_intf.S) = struct
+  module Ts = Mm_lockfree.Treiber_stack.Make (Rt)
+
+  let stack_conservation h mk_run =
+    let s = Ts.create h in
+    let n = 200 and producers = 2 and consumers = 2 in
+    let popped = Array.make (producers * n) false in
+    let producer p _ =
+      for i = 0 to n - 1 do
+        Ts.push s ((p * n) + i)
+      done
+    in
+    let consumer _ _ =
+      for _ = 1 to n do
+        match Ts.pop s with
+        | Some v ->
+            assert (not popped.(v));
+            popped.(v) <- true
+        | None -> ()
+      done
+    in
+    let bodies =
+      Array.init (producers + consumers) (fun i ->
+          if i < producers then producer i else consumer i)
+    in
+    mk_run bodies;
+    (* Drain what remains. *)
+    let rec drain () =
       match Ts.pop s with
       | Some v ->
           assert (not popped.(v));
-          popped.(v) <- true
+          popped.(v) <- true;
+          drain ()
       | None -> ()
-    done
-  in
-  let bodies =
-    Array.init (producers + consumers) (fun i ->
-        if i < producers then producer i else consumer i)
-  in
-  mk_run bodies;
-  (* Drain what remains. *)
-  let rec drain () =
-    match Ts.pop s with
-    | Some v ->
-        assert (not popped.(v));
-        popped.(v) <- true;
-        drain ()
-    | None -> ()
-  in
-  drain ();
-  Array.iteri
-    (fun i seen -> if not seen then Alcotest.failf "value %d lost" i)
-    popped
+    in
+    drain ();
+    Array.iteri
+      (fun i seen -> if not seen then Alcotest.failf "value %d lost" i)
+      popped
+end
+
+module Conserve_r = Conserve (Real_rt)
+module Conserve_s = Conserve (Sim_rt)
 
 let treiber_conc_real () =
-  stack_conservation Rt.real (fun bodies ->
+  Conserve_r.stack_conservation () (fun bodies ->
       ignore (Rt.parallel_run Rt.real bodies))
 
 let treiber_conc_sim () =
   for seed = 1 to 10 do
     let s = sim ~cpus:4 ~seed () in
-    stack_conservation (Rt.simulated s) (fun bodies ->
-        ignore (Sim.run s bodies))
+    Conserve_s.stack_conservation s (fun bodies -> ignore (Sim.run s bodies))
   done
 
 (* ---------------- MS queue ---------------- *)
 
 let msq_seq () =
-  let q = Msq.create Rt.real in
+  let q = Msq.create () in
   Alcotest.(check bool) "empty" true (Msq.is_empty q);
   Alcotest.(check (option int)) "dequeue empty" None (Msq.dequeue q);
   Msq.enqueue q 1;
@@ -126,7 +139,7 @@ let msq_qcheck =
   qcheck "ms queue matches queue model (sequential)"
     QCheck2.Gen.(list (int_range 0 2))
     (fun ops ->
-      let q = Msq.create Rt.real in
+      let q = Msq.create () in
       let model = Queue.create () in
       List.iteri
         (fun i op ->
@@ -147,26 +160,25 @@ let msq_qcheck =
 let msq_per_producer_fifo () =
   for seed = 1 to 10 do
     let s = sim ~cpus:4 ~seed () in
-    let rt = Rt.simulated s in
-    let q = Msq.create rt in
+    let q = Msq_s.create s in
     let n = 150 and producers = 3 in
     let dequeued = ref [] in
     let bodies =
       Array.init (producers + 1) (fun i ->
           if i < producers then fun _ ->
             for k = 0 to n - 1 do
-              Msq.enqueue q ((i * n) + k)
+              Msq_s.enqueue q ((i * n) + k)
             done
           else fun _ ->
             for _ = 1 to producers * n do
-              match Msq.dequeue q with
+              match Msq_s.dequeue q with
               | Some v -> dequeued := v :: !dequeued
-              | None -> Rt.yield rt
+              | None -> Sim_rt.yield s
             done)
     in
     ignore (Sim.run s bodies);
     let rec drain () =
-      match Msq.dequeue q with
+      match Msq_s.dequeue q with
       | Some v ->
           dequeued := v :: !dequeued;
           drain ()
@@ -187,7 +199,7 @@ let msq_per_producer_fifo () =
 
 let hp_basic () =
   let reused = ref [] in
-  let hp = Hp.create Rt.real ~scan_threshold:4 ~reuse:(fun n -> reused := n :: !reused) in
+  let hp = Hp.create () ~scan_threshold:4 ~reuse:(fun n -> reused := n :: !reused) in
   let a = ref 1 and b = ref 2 in
   Hp.protect hp ~slot:0 a;
   Hp.retire hp a;
@@ -204,7 +216,7 @@ let hp_basic () =
 
 let hp_threshold_triggers_scan () =
   let reused = ref 0 in
-  let hp = Hp.create Rt.real ~scan_threshold:8 ~reuse:(fun _ -> incr reused) in
+  let hp = Hp.create () ~scan_threshold:8 ~reuse:(fun _ -> incr reused) in
   for i = 1 to 8 do
     Hp.retire hp (ref i)
   done;
@@ -213,7 +225,7 @@ let hp_threshold_triggers_scan () =
 let hp_multi_slot () =
   let reused = ref [] in
   let hp =
-    Hp.create Rt.real ~k:2 ~scan_threshold:100
+    Hp.create () ~k:2 ~scan_threshold:100
       ~reuse:(fun n -> reused := n :: !reused)
   in
   let a = ref 1 and b = ref 2 in
@@ -236,27 +248,24 @@ let hp_multi_slot () =
 let hp_concurrent_safety () =
   for seed = 1 to 8 do
     let s = sim ~cpus:4 ~seed () in
-    let rt = Rt.simulated s in
     let protected_now = Array.make 4 None in
     let violations = ref 0 in
-    let hp = ref None in
     let reuse node =
       Array.iter
         (fun p -> if p == Some node then incr violations)
         protected_now
     in
-    hp := Some (Hp.create rt ~scan_threshold:6 ~reuse);
-    let hp = Option.get !hp in
+    let hp = Hp_s.create s ~scan_threshold:6 ~reuse in
     let body tid =
       let rng = Prng.create (seed + tid) in
       for i = 1 to 100 do
         let node = ref ((tid * 1000) + i) in
-        Hp.protect hp ~slot:0 node;
+        Hp_s.protect hp ~slot:0 node;
         protected_now.(tid) <- Some node;
-        Rt.work rt (Prng.int rng 50);
+        Sim_rt.work s (Prng.int rng 50);
         protected_now.(tid) <- None;
-        Hp.clear hp ~slot:0;
-        Hp.retire hp node
+        Hp_s.clear hp ~slot:0;
+        Hp_s.retire hp node
       done
     in
     ignore (Sim.run s (Array.init 4 (fun i _ -> body i)));
@@ -270,7 +279,7 @@ let hp_concurrent_safety () =
 let tagged_seq () =
   let next = Array.make 64 (-1) in
   let s =
-    Tis.create Rt.real
+    Tis.create ()
       ~get_next:(fun i -> next.(i))
       ~set_next:(fun i v -> next.(i) <- v)
       ()
@@ -289,7 +298,7 @@ let tagged_seq () =
 
 let tagged_bad_id () =
   let s =
-    Tis.create Rt.real ~get_next:(fun _ -> -1) ~set_next:(fun _ _ -> ()) ()
+    Tis.create () ~get_next:(fun _ -> -1) ~set_next:(fun _ _ -> ()) ()
   in
   Alcotest.check_raises "negative id"
     (Invalid_argument "Tagged_id_stack.push: bad id") (fun () -> Tis.push s (-1))
@@ -297,10 +306,9 @@ let tagged_bad_id () =
 let tagged_conservation () =
   for seed = 1 to 10 do
     let s = sim ~cpus:4 ~seed () in
-    let rt = Rt.simulated s in
     let next = Array.make 1024 (-1) in
     let stack =
-      Tis.create rt
+      Tis_s.create s
         ~get_next:(fun i -> next.(i))
         ~set_next:(fun i v -> next.(i) <- v)
         ()
@@ -308,7 +316,7 @@ let tagged_conservation () =
     (* Pre-fill with ids 0..255; threads pop/push randomly; at the end
        every id is present exactly once (in stack or never popped). *)
     for i = 0 to 255 do
-      Tis.push stack i
+      Tis_s.push stack i
     done;
     let body tid =
       let rng = Prng.create (seed * 100 + tid) in
@@ -318,18 +326,18 @@ let tagged_conservation () =
           match !held with
           | id :: rest ->
               held := rest;
-              Tis.push stack id
+              Tis_s.push stack id
           | [] -> ()
         end
         else
-          match Tis.pop stack with
+          match Tis_s.pop stack with
           | Some id -> held := id :: !held
           | None -> ()
       done;
-      List.iter (Tis.push stack) !held
+      List.iter (Tis_s.push stack) !held
     in
     ignore (Sim.run s (Array.init 4 (fun i _ -> body i)));
-    let final = List.sort compare (Tis.to_list stack) in
+    let final = List.sort compare (Tis_s.to_list stack) in
     Alcotest.(check (list int))
       (Printf.sprintf "seed %d: ids conserved" seed)
       (List.init 256 (fun i -> i))
@@ -339,7 +347,7 @@ let tagged_conservation () =
 (* ---------------- Backoff ---------------- *)
 
 let backoff_basics () =
-  let b = Backoff.create ~min_spins:2 ~max_spins:8 Rt.real in
+  let b = Backoff.create ~min_spins:2 ~max_spins:8 () in
   Backoff.once b;
   Backoff.once b;
   Backoff.once b;
@@ -349,7 +357,7 @@ let backoff_basics () =
   Backoff.once b;
   Alcotest.check_raises "bad bounds"
     (Invalid_argument "Backoff.create: need 1 <= min_spins <= max_spins")
-    (fun () -> ignore (Backoff.create ~min_spins:0 Rt.real))
+    (fun () -> ignore (Backoff.create ~min_spins:0 ()))
 
 let cases =
   [

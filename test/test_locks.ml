@@ -2,7 +2,13 @@
    try_acquire semantics, fairness, counters. *)
 
 open Mm_runtime
-module Locks = Mm_baselines.Locks
+
+module Locks = struct
+  include Mm_baselines.Locks
+  include Mm_baselines.Locks.Make (Real_rt)
+end
+
+module Locks_s = Mm_baselines.Locks.Make (Sim_rt)
 module Cfg = Mm_mem.Alloc_config
 open Util
 
@@ -19,16 +25,15 @@ let kinds =
 let mutual_exclusion kind () =
   for seed = 1 to 6 do
     let s = sim ~cpus:4 ~seed () in
-    let rt = Rt.simulated s in
-    let lock = Locks.create rt kind in
+    let lock = Locks_s.create s kind in
     let cell = ref 0 in
     let body _ =
       for _ = 1 to 200 do
-        Locks.with_lock lock (fun () ->
+        Locks_s.with_lock lock (fun () ->
             let v = !cell in
             (* A deliberate preemption window inside the critical
                section. *)
-            Rt.work rt 5;
+            Sim_rt.work s 5;
             cell := v + 1)
       done
     in
@@ -41,7 +46,7 @@ let mutual_exclusion kind () =
 let mutual_exclusion_real kind () =
   (* Modest iteration count: on a single-core host, queue-lock handoffs
      to descheduled threads cost scheduler quanta. *)
-  let lock = Locks.create Rt.real kind in
+  let lock = Locks.create () kind in
   let cell = ref 0 in
   let body _ =
     for _ = 1 to 1_000 do
@@ -52,7 +57,7 @@ let mutual_exclusion_real kind () =
   Alcotest.(check int) "exact count" 4_000 !cell
 
 let try_acquire_semantics kind () =
-  let lock = Locks.create Rt.real kind in
+  let lock = Locks.create () kind in
   Alcotest.(check bool) "free lock acquired" true (Locks.try_acquire lock);
   Alcotest.(check bool) "held lock refused" false (Locks.try_acquire lock);
   Locks.release lock;
@@ -60,7 +65,7 @@ let try_acquire_semantics kind () =
   Locks.release lock
 
 let counters kind () =
-  let lock = Locks.create Rt.real kind in
+  let lock = Locks.create () kind in
   for _ = 1 to 10 do
     Locks.acquire lock;
     Locks.release lock
@@ -72,29 +77,27 @@ let counters kind () =
 
 let contention_counted () =
   let s = sim ~cpus:2 () in
-  let rt = Rt.simulated s in
-  let lock = Locks.create rt Cfg.Tas_backoff in
+  let lock = Locks_s.create s Cfg.Tas_backoff in
   let body _ =
     for _ = 1 to 100 do
-      Locks.with_lock lock (fun () -> Rt.work rt 200)
+      Locks_s.with_lock lock (fun () -> Sim_rt.work s 200)
     done
   in
   ignore (Sim.run s (Array.make 2 body));
   Alcotest.(check bool) "contention observed" true
-    (Locks.contended_acquisitions lock > 0)
+    (Locks_s.contended_acquisitions lock > 0)
 
 let mcs_fifo_fairness () =
   (* MCS grants in queue order too. *)
   let s = sim ~cpus:2 () in
-  let rt = Rt.simulated s in
-  let lock = Locks.create rt Cfg.Mcs in
+  let lock = Locks_s.create s Cfg.Mcs in
   let seq = ref [] in
   let body tid =
     for _ = 1 to 50 do
-      Locks.acquire lock;
+      Locks_s.acquire lock;
       seq := tid :: !seq;
-      Rt.work rt 100;
-      Locks.release lock
+      Sim_rt.work s 100;
+      Locks_s.release lock
     done
   in
   ignore (Sim.run s (Array.init 2 (fun i _ -> body i)));
@@ -119,15 +122,14 @@ let ticket_fairness () =
      neither can starve. Record the acquisition sequence and check no
      thread acquires 3+ times in a row while the other is waiting. *)
   let s = sim ~cpus:2 () in
-  let rt = Rt.simulated s in
-  let lock = Locks.create rt Cfg.Ticket in
+  let lock = Locks_s.create s Cfg.Ticket in
   let seq = ref [] in
   let body tid =
     for _ = 1 to 50 do
-      Locks.acquire lock;
+      Locks_s.acquire lock;
       seq := tid :: !seq;
-      Rt.work rt 100;
-      Locks.release lock
+      Sim_rt.work s 100;
+      Locks_s.release lock
     done
   in
   ignore (Sim.run s (Array.init 2 (fun i _ -> body i)));
@@ -149,14 +151,13 @@ let holder_label_emitted () =
     Sim.Continue
   in
   let s = sim ~cpus:1 ~on_label () in
-  let rt = Rt.simulated s in
-  let lock = Locks.create rt Cfg.Tas_backoff in
+  let lock = Locks_s.create s Cfg.Tas_backoff in
   ignore
     (Sim.run s
        [|
          (fun _ ->
-           Locks.acquire lock;
-           Locks.release lock);
+           Locks_s.acquire lock;
+           Locks_s.release lock);
        |]);
   Alcotest.(check int) "holder label once per acquisition" 1 !hits
 
@@ -164,11 +165,10 @@ let preempted_holder_progress () =
   (* A preempted holder on an oversubscribed CPU must eventually run
      again (spinners yield), so the system finishes. *)
   let s = sim ~cpus:1 ~max_cycles:5_000_000_000 () in
-  let rt = Rt.simulated s in
-  let lock = Locks.create rt Cfg.Tas_backoff in
+  let lock = Locks_s.create s Cfg.Tas_backoff in
   let body _ =
     for _ = 1 to 20 do
-      Locks.with_lock lock (fun () -> Rt.work rt 200_000)
+      Locks_s.with_lock lock (fun () -> Sim_rt.work s 200_000)
     done
   in
   ignore (Sim.run s (Array.make 3 body))

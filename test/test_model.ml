@@ -6,7 +6,6 @@
 open Mm_runtime
 module I = Mm_mem.Alloc_intf
 module Ops = Mm_mem.Alloc_ops
-module Store = Mm_mem.Store
 open Util
 
 type op = Malloc of int | Free of int | Realloc of int * int
@@ -25,7 +24,6 @@ let overlaps (a1, u1) (a2, u2) = a1 < a2 + u2 && a2 < a1 + u1
 
 let run_ops name ops =
   let inst = instance name Rt.real in
-  let store = I.instance_store inst in
   let live = ref [] in
   let stamp = ref 0 in
   let add addr =
@@ -37,7 +35,7 @@ let run_ops name ops =
           Alcotest.failf "%s: block %#x+%d overlaps %#x+%d" name addr u a u')
       !live;
     incr stamp;
-    Store.write_word store addr !stamp;
+    I.instance_write_word inst addr !stamp;
     live := (addr, u, !stamp) :: !live
   in
   List.iter
@@ -51,7 +49,7 @@ let run_ops name ops =
               let k = i mod List.length l in
               let a, _, st = List.nth l k in
               Alcotest.(check int) "stamp intact before free" st
-                (Store.read_word store a);
+                (I.instance_read_word inst a);
               live := List.filteri (fun j _ -> j <> k) l;
               I.instance_free inst a)
       | Realloc (i, n) -> (
@@ -65,7 +63,7 @@ let run_ops name ops =
               let u' = I.instance_usable inst a' in
               Alcotest.(check bool) "realloc grew enough" true (u' >= n);
               Alcotest.(check int) "stamp survives realloc" st
-                (Store.read_word store a');
+                (I.instance_read_word inst a');
               List.iter
                 (fun (b, ub, _) ->
                   if overlaps (a', u') (b, ub) then
@@ -76,7 +74,7 @@ let run_ops name ops =
   (* Final stamps all intact, then drain and check invariants. *)
   List.iter
     (fun (a, _, st) ->
-      Alcotest.(check int) "final stamp" st (Store.read_word store a);
+      Alcotest.(check int) "final stamp" st (I.instance_read_word inst a);
       I.instance_free inst a)
     !live;
   I.instance_check inst

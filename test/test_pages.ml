@@ -20,13 +20,17 @@
      window never lets an extent be handed out twice. *)
 
 open Mm_runtime
-module A = Mm_core.Lf_alloc
-module B = Mm_pages.Buddy
-module Pm = Mm_pages.Page_manager
+module A = Mm_core.Lf_alloc.Make (Sim_rt)
+module B = Mm_pages.Buddy.Make (Sim_rt)
+module Pm = Mm_pages.Page_manager.Make (Sim_rt)
 module Pg = Mm_pages.Pg_labels
 module Cfg = Mm_mem.Alloc_config
 module Scls = Mm_mem.Size_class
-module Store = Mm_mem.Store
+
+module Store = struct
+  include Mm_mem.Store
+  include Mm_mem.Store.Make (Sim_rt)
+end
 module O = Mm_check.Oracle
 module E = Mm_check.Explore
 module T = Mm_check.Target
@@ -38,7 +42,7 @@ open Util
    the array needs no synchronization of its own. *)
 let buddy_no_overlap () =
   let s = sim ~cpus:4 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let b = B.create rt ~order:3 () in
   let owner = Array.make (B.pages b) (-1) in
   let body tid =
@@ -73,7 +77,7 @@ let buddy_no_overlap () =
    as one maximum-order extent. *)
 let coalesce_restores_max_order () =
   let s = sim ~cpus:1 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let b = B.create rt ~order:3 () in
   let body _ =
     let grants =
@@ -103,7 +107,7 @@ let coalesce_restores_max_order () =
    whole-span extents. *)
 let exhaustion_reserves_fresh_span () =
   let s = sim ~cpus:1 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let store = Store.create rt ~capacity:128 ~sbsize:4096 () in
   let pm = Pm.create rt store ~max_spans:4 ~span_pages:4 () in
   let body _ =
@@ -142,7 +146,7 @@ let default_config_keeps_manager_off () =
   Alcotest.(check bool) "Cfg.default leaves the page manager off" false
     Cfg.default.Cfg.page_manager;
   let s = sim ~cpus:1 () in
-  let t = A.create (Rt.simulated s) Cfg.default in
+  let t = A.create s Cfg.default in
   Alcotest.(check bool) "no page-manager instance" true
     (A.page_manager t = None);
   List.iter
@@ -159,7 +163,7 @@ let default_config_keeps_manager_off () =
 let off_path_bit_identical () =
   let run cfg =
     let s = sim ~cpus:2 ~seed:7 () in
-    let rt = Rt.simulated s in
+    let rt = s in
     let t = A.create rt cfg in
     let threshold = Scls.large_threshold (A.size_classes t) in
     let log = ref [] in
@@ -197,7 +201,7 @@ let off_path_bit_identical () =
 let large_routing_collapses_mmaps () =
   let churn ~page_manager =
     let s = sim ~cpus:4 () in
-    let rt = Rt.simulated s in
+    let rt = s in
     let t =
       A.create rt
         (Cfg.make ~nheaps:1 ~sbsize:4096 ~page_manager ~span_pages:16 ())
@@ -262,7 +266,7 @@ let kill_in_window label () =
     else Sim.Continue
   in
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t =
     A.create rt
       (Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ~desc_scan_threshold:1

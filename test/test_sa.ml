@@ -45,7 +45,7 @@ let fixtures_flagged () =
   let r = D.run ~root:(repo_root ()) ~paths:fixture_paths () in
   (* every planted violation is reported, with its file and line *)
   Alcotest.(check (list int))
-    "S1: raw deref, unvalidated deref, leaked slot" [ 16; 24; 35 ]
+    "S1: raw deref, unvalidated deref, leaked slot" [ 18; 26; 37 ]
     (lines "hp-protocol" "test/sa_fixtures/lib/core/bad_hp.ml" r);
   Alcotest.(check (list int))
     "S2: stale expected + double commit" [ 14; 24 ]
@@ -56,7 +56,7 @@ let fixtures_flagged () =
        r);
   Alcotest.(check (list int))
     "S4: unlabelled loop, undischarged window, escaped entry"
-    [ 13; 17; 23 ]
+    [ 17; 21; 27 ]
     (lines "label-dominance" "test/sa_fixtures/lib/core/bad_label.ml" r);
   Alcotest.(check (list int))
     "S4: pages fixture" [ 9 ]

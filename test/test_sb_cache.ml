@@ -18,15 +18,23 @@
      lets a block be allocated twice. *)
 
 open Mm_runtime
-module A = Mm_core.Lf_alloc
-module Sbc = Mm_core.Sb_cache
-module D = Mm_core.Descriptor
+module A = Mm_core.Lf_alloc.Make (Sim_rt)
+module Sbc = Mm_core.Sb_cache.Make (Sim_rt)
+module D = Mm_core.Descriptor.Make (Sim_rt)
 module An = Mm_core.Anchor
 module L = Mm_core.Labels
 module Cfg = Mm_mem.Alloc_config
 module Scls = Mm_mem.Size_class
-module Store = Mm_mem.Store
-module Space = Mm_mem.Space
+
+module Store = struct
+  include Mm_mem.Store
+  include Mm_mem.Store.Make (Sim_rt)
+end
+
+module Space = struct
+  include Mm_mem.Space
+  include Mm_mem.Space.Make (Sim_rt)
+end
 module O = Mm_check.Oracle
 module E = Mm_check.Explore
 module T = Mm_check.Target
@@ -51,7 +59,7 @@ let all_parked t =
   List.concat (List.init nclasses (fun sc -> Sbc.parked sbc ~sc))
 
 let anchor_tag t id =
-  An.tag (Rt.Atomic.get (D.get (A.descriptor_table t) id).D.anchor)
+  An.tag (Sim_rt.Atomic.get (D.get (A.descriptor_table t) id).D.anchor)
 
 (* A parked descriptor's tag may only grow: adoption installs the
    anchor with tag+1 (MallocFromNewSB line 21 on the preserved value),
@@ -59,7 +67,7 @@ let anchor_tag t id =
    superblock's previous life can never succeed on its next one. *)
 let tag_strictly_increases () =
   let s = sim ~cpus:1 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = A.create rt (sbc_cfg ~depth:2) in
   let last = Hashtbl.create 8 in
   let strict = ref 0 in
@@ -94,7 +102,7 @@ let tag_strictly_increases () =
    retries, and every EMPTY superblock pays its munmap. *)
 let depth0_paper_verbatim () =
   let s = sim ~cpus:1 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = A.create rt (sbc_cfg ~depth:0) in
   let body _ = for _ = 1 to 4 do churn t ~blocks:300 done in
   ignore (Sim.run s [| body |]);
@@ -118,7 +126,7 @@ let depth0_paper_verbatim () =
 
 let default_config_keeps_cache_off () =
   let s = sim ~cpus:1 () in
-  let t = A.create (Rt.simulated s) Cfg.default in
+  let t = A.create s Cfg.default in
   Alcotest.(check bool) "Cfg.default leaves the warm cache off" false
     (Sbc.enabled (A.sb_cache t))
 
@@ -130,7 +138,7 @@ let munmap_collapse_and_space_bound () =
   let depth = 4 in
   let run ~depth =
     let s = sim ~cpus:1 () in
-    let rt = Rt.simulated s in
+    let rt = s in
     let t = A.create rt (sbc_cfg ~depth) in
     let body _ = for _ = 1 to 10 do churn t ~blocks:300 done in
     ignore (Sim.run s [| body |]);
@@ -162,7 +170,7 @@ let munmap_collapse_and_space_bound () =
 
 let stats_conserved () =
   let s = sim ~cpus:4 () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t = A.create rt (sbc_cfg ~depth:2) in
   let body _ = for _ = 1 to 3 do churn t ~blocks:200 done in
   ignore (Sim.run s (Array.make 4 (fun i -> body i)));
@@ -195,7 +203,7 @@ let kill_in_window label () =
     else Sim.Continue
   in
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let rt = Rt.simulated s in
+  let rt = s in
   let t =
     A.create rt
       (Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ~desc_scan_threshold:1

@@ -1,71 +1,71 @@
 (* Early end-to-end smoke tests for the lock-free allocator on both
-   runtimes; the full suites live in the test_* modules. *)
+   runtime instantiations (DESIGN.md §18); the full suites live in the
+   test_* modules. *)
 
 open Mm_runtime
 module Cfg = Mm_mem.Alloc_config
-module A = Mm_core.Lf_alloc
 
 let cfg = Cfg.make ~nheaps:4 ()
 
-let seq_malloc_free rt () =
-  let t = A.create rt cfg in
-  let addrs = Array.init 100 (fun i -> A.malloc t (8 * (1 + (i mod 16)))) in
-  let distinct = List.sort_uniq compare (Array.to_list addrs) in
-  Alcotest.(check int) "distinct addresses" 100 (List.length distinct);
-  (* Payload integrity: write a stamp in each block, read all back. *)
-  Array.iteri (fun i a -> Mm_mem.Store.write_word (A.store t) a (i * 7)) addrs;
-  Array.iteri
-    (fun i a ->
-      Alcotest.(check int)
-        "payload intact" (i * 7)
-        (Mm_mem.Store.read_word (A.store t) a))
-    addrs;
-  Array.iter (A.free t) addrs;
-  A.check_invariants t
+(* The sequential body is runtime-generic: instantiate it once per
+   backend and the same source drives both specializations. *)
+module Seq (Rt : Mm_runtime.Runtime_intf.S) = struct
+  module A = Mm_core.Lf_alloc.Make (Rt)
+  module Store = Mm_mem.Store.Make (Rt)
 
-let seq_real () = seq_malloc_free Rt.real ()
+  let run h =
+    let t = A.create h cfg in
+    let addrs = Array.init 100 (fun i -> A.malloc t (8 * (1 + (i mod 16)))) in
+    let distinct = List.sort_uniq compare (Array.to_list addrs) in
+    Alcotest.(check int) "distinct addresses" 100 (List.length distinct);
+    (* Payload integrity: write a stamp in each block, read all back. *)
+    Array.iteri (fun i a -> Store.write_word (A.store t) a (i * 7)) addrs;
+    Array.iteri
+      (fun i a ->
+        Alcotest.(check int)
+          "payload intact" (i * 7)
+          (Store.read_word (A.store t) a))
+      addrs;
+    Array.iter (A.free t) addrs;
+    A.check_invariants t
+end
+
+module Seq_real = Seq (Real_rt)
+module Seq_sim = Seq (Sim_rt)
+module Ar = Mm_core.Lf_alloc.Make (Real_rt)
+module As = Mm_core.Lf_alloc.Make (Sim_rt)
+
+let seq_real () = Seq_real.run ()
 
 let seq_sim () =
   let sim = Sim.create ~cpus:4 () in
-  let rt = Rt.simulated sim in
-  let t = A.create rt cfg in
-  let r =
-    Sim.run sim
-      [|
-        (fun _ ->
-          let addrs = Array.init 50 (fun i -> A.malloc t (16 * (1 + (i mod 8)))) in
-          Array.iter (A.free t) addrs);
-      |]
-  in
-  Alcotest.(check bool) "made progress" true (r.Sim.makespan_cycles > 0);
-  A.check_invariants t
+  Seq_sim.run sim
 
 let par_sim () =
   let sim = Sim.create ~cpus:8 ~seed:42 () in
-  let rt = Rt.simulated sim in
-  let t = A.create rt cfg in
+  let t = As.create sim cfg in
   let body _ =
-    let addrs = Array.init 200 (fun i -> A.malloc t (8 * (1 + (i mod 20)))) in
-    Array.iter (A.free t) addrs
+    let addrs = Array.init 200 (fun i -> As.malloc t (8 * (1 + (i mod 20)))) in
+    Array.iter (As.free t) addrs
   in
   ignore (Sim.run sim (Array.make 8 body));
-  A.check_invariants t;
-  let m, f = A.op_counts t in
+  As.check_invariants t;
+  let m, f = As.op_counts t in
   Alcotest.(check int) "mallocs" (8 * 200) m;
   Alcotest.(check int) "frees" (8 * 200) f
 
 let par_real () =
-  let t = A.create Rt.real cfg in
+  let t = Ar.create () cfg in
   let body _ =
     for round = 1 to 20 do
       let addrs =
-        Array.init 50 (fun i -> A.malloc t (8 * (1 + ((i + round) mod 20))))
+        Array.init 50 (fun i -> Ar.malloc t (8 * (1 + ((i + round) mod 20))))
       in
-      Array.iter (A.free t) addrs
+      Array.iter (Ar.free t) addrs
     done
   in
   ignore (Rt.parallel_run Rt.real (Array.make 4 body));
-  A.check_invariants t
+  Ar.check_invariants t
 
 let cases =
   [

@@ -1,0 +1,95 @@
+(* Specialization equivalence (DESIGN.md §18): the functorization of
+   the allocator stack over RUNTIME must not perturb the simulated
+   runtime by a single scheduling decision.
+
+   Two regressions pin that down:
+
+   - golden sim traces: a seeded mixed malloc/free workload's address
+     stream is reduced to a checksum and compared against values
+     captured on the pre-functorization value-level runtime (commit
+     54a1a6a, where every [Rt.Atomic] op dispatched on the [Rt.t]
+     value). Bit-identical schedules mean bit-identical addresses mean
+     equal checksums — across 1, 4 and 8 simulated CPUs.
+
+   - explorer stability: bounded-exhaustive exploration of the lf_alloc
+     check target is a pure function of (target, threads, bound,
+     budget); two runs must visit the same number of executions and
+     find nothing, so the explorer's schedule enumeration is unchanged
+     over the functorized allocator.
+
+   The striped-census == obs-census equality half of the equivalence
+   claim lives in test_obs.ml (counters-match-census); the Real
+   instantiation's conformance coverage is the `Real rows of
+   test_alloc_conformance.ml. *)
+
+open Mm_runtime
+module As = Mm_core.Lf_alloc.Make (Sim_rt)
+module Cfg = Mm_mem.Alloc_config
+module E = Mm_check.Explore
+module T = Mm_check.Target
+open Util
+
+(* The exact workload the golden values were captured with: per-thread
+   seeded mix of mallocs (sizes 1..2500, spanning small classes and the
+   large path) and frees over 24 slots, checksummed in allocation
+   order. Any change here invalidates the goldens — re-capture them on
+   the old runtime before touching it. *)
+let checksum ~cfg ~cpus ~seed =
+  let s = Sim.create ~cpus ~seed ~max_cycles:50_000_000_000 () in
+  let t = As.create s cfg in
+  let acc = Array.make cpus 0 in
+  let body tid =
+    let rng = Prng.create (tid + 11) in
+    let slots = Array.make 24 0 in
+    for _ = 1 to 400 do
+      let i = Prng.int rng 24 in
+      if slots.(i) <> 0 then begin
+        As.free t slots.(i);
+        slots.(i) <- 0
+      end
+      else begin
+        let a = As.malloc t (Prng.int_in rng 1 2_500) in
+        slots.(i) <- a;
+        acc.(tid) <- (acc.(tid) * 1_000_003) + a
+      end
+    done;
+    Array.iter (fun a -> if a <> 0 then As.free t a) slots
+  in
+  ignore (Sim.run s (Array.init cpus (fun i _ -> body i)));
+  Array.fold_left (fun h a -> (h * 31) + (a land max_int)) 0 acc
+
+let goldens =
+  [
+    (1, 1, 1035582064610360096);
+    (4, 7, -310638667675535616);
+    (8, 42, -2356413153057079624);
+  ]
+
+let sim_traces_bit_identical () =
+  List.iter
+    (fun (cpus, seed, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "cpus=%d seed=%d trace checksum" cpus seed)
+        expected
+        (checksum ~cfg:(Cfg.make ()) ~cpus ~seed))
+    goldens
+
+let explorer_schedules_stable () =
+  let go () = E.exhaustive T.lf_alloc ~threads:2 ~bound:2 ~budget:4_000 in
+  let a = go () and b = go () in
+  (match (a.E.finding, b.E.finding) with
+  | None, None -> ()
+  | Some f, _ | _, Some f ->
+      Alcotest.failf "lf_alloc target violation: %s" f.E.error);
+  Alcotest.(check int) "same executions both runs" a.E.executions
+    b.E.executions;
+  Alcotest.(check bool) "explored at least one schedule" true
+    (a.E.executions > 0);
+  Alcotest.(check bool) "same completion status" a.E.complete b.E.complete
+
+let cases =
+  [
+    case "sim traces bit-identical to the value-level runtime"
+      sim_traces_bit_identical;
+    case "explorer schedule enumeration is stable" explorer_schedules_stable;
+  ]

@@ -2,13 +2,26 @@
    hyperblocks, accounting. *)
 
 open Mm_runtime
-module Store = Mm_mem.Store
-module Space = Mm_mem.Space
+
+(* Real-runtime instantiations, plus the runtime-independent types
+   (os_stats / snapshot fields) from the enclosing modules. *)
+module Store = struct
+  include Mm_mem.Store
+  include Mm_mem.Store.Make (Real_rt)
+end
+
+module Space = struct
+  include Mm_mem.Space
+  include Mm_mem.Space.Make (Real_rt)
+end
+
+module Store_s = Mm_mem.Store.Make (Sim_rt)
+module Space_s = Mm_mem.Space.Make (Sim_rt)
 module Addr = Mm_mem.Addr
 open Util
 
 let fresh ?(hyperblocks = false) ?(sbsize = 16 * 1024) () =
-  Store.create Rt.real ~capacity:4096 ~sbsize ~hyperblocks ()
+  Store.create () ~capacity:4096 ~sbsize ~hyperblocks ()
 
 let superblock_basics () =
   let st = fresh () in
@@ -81,32 +94,31 @@ let sim_bounds_assert () =
      accesses keep the tolerant behaviour (the paper's reads of
      possibly-reused memory). *)
   let s = sim ~cpus:1 () in
-  let rt = Rt.simulated s in
   ignore
     (Sim.run s
        [|
          (fun _ ->
-           let st = Store.create rt ~capacity:4096 ~sbsize:(16 * 1024) () in
-           let sb = Store.alloc_superblock st in
+           let st = Store_s.create s ~capacity:4096 ~sbsize:(16 * 1024) () in
+           let sb = Store_s.alloc_superblock st in
            let oob = sb + (16 * 1024) - 4 in
            (try
-              ignore (Store.read_word st oob);
+              ignore (Store_s.read_word st oob);
               Alcotest.fail "sim OOB read did not assert"
             with Failure msg ->
               Alcotest.(check bool) "read diagnostic names the offset" true
                 (String.length msg > 0));
            (try
-              Store.write_word st oob 1;
+              Store_s.write_word st oob 1;
               Alcotest.fail "sim OOB write did not assert"
             with Failure _ -> ());
            Alcotest.(check int) "racy OOB read stays tolerant" 0
-             (Store.read_word ~racy:true st oob);
-           Store.write_word ~racy:true st oob 1;
+             (Store_s.read_word ~racy:true st oob);
+           Store_s.write_word ~racy:true st oob 1;
            (* Dead regions stay tolerant in both modes: racy reads may
               legitimately target retired superblocks. *)
-           Store.free_superblock st sb;
+           Store_s.free_superblock st sb;
            Alcotest.(check int) "dead region reads 0" 0
-             (Store.read_word st sb));
+             (Store_s.read_word st sb));
        |])
 
 let init_free_list () =
@@ -160,12 +172,11 @@ let concurrent_region_alloc () =
   (* Region ids handed out concurrently never collide. *)
   for seed = 1 to 5 do
     let s = sim ~cpus:4 ~seed () in
-    let rt = Rt.simulated s in
-    let st = Store.create rt ~capacity:4096 () in
+    let st = Store_s.create s ~capacity:4096 () in
     let got = Array.make 4 [] in
     let body tid =
       for _ = 1 to 25 do
-        got.(tid) <- Store.alloc_superblock st :: got.(tid)
+        got.(tid) <- Store_s.alloc_superblock st :: got.(tid)
       done
     in
     ignore (Sim.run s (Array.init 4 (fun i _ -> body i)));
@@ -195,22 +206,21 @@ let payload_round_real () =
 
 let space_concurrent_peaks () =
   let s = sim ~cpus:4 () in
-  let rt = Rt.simulated s in
-  let sp = Space.create rt in
+  let sp = Space_s.create s in
   let body _ =
     for _ = 1 to 100 do
-      Space.add_used sp 10;
-      Space.add_used sp (-10)
+      Space_s.add_used sp 10;
+      Space_s.add_used sp (-10)
     done
   in
   ignore (Sim.run s (Array.make 4 body));
-  let r = Space.read sp in
+  let r = Space_s.read sp in
   Alcotest.(check int) "used back to zero" 0 r.Space.used;
   Alcotest.(check bool) "peak within bounds" true
     (r.Space.used_peak >= 10 && r.Space.used_peak <= 40)
 
 let space_reset_peaks () =
-  let sp = Space.create Rt.real in
+  let sp = Space.create () in
   Space.add_mapped sp 100;
   Space.add_mapped sp (-50);
   Space.reset_peaks sp;

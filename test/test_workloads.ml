@@ -63,11 +63,7 @@ let larson () =
   (* Larson drains its slots afterwards: heap must be quiescent and
      consistent, and mallocs == frees. *)
   I.instance_check inst;
-  (match inst with
-  | I.Inst ((module A), h) ->
-      ignore (A.name : string);
-      ignore h);
-  ()
+  ignore (I.instance_name inst : string)
 
 let producer_consumer_counts () =
   let inst = sim_instance ~cpus:8 "new" in
@@ -87,11 +83,12 @@ let pc_no_leaks () =
   (* Every task's four blocks are freed: for the lock-free allocator,
      mallocs == frees after the run. *)
   let s = sim ~cpus:4 ~max_cycles:50_000_000_000 () in
-  let t = Mm_core.Lf_alloc.create (Rt.simulated s) Cfg.default in
-  let inst = I.Inst ((module Mm_core.Lf_alloc), t) in
+  let module As = Mm_core.Lf_alloc.Make (Sim_rt) in
+  let t = As.create s Cfg.default in
+  let inst = As.instance (Rt.simulated s) t in
   let p = { W.Producer_consumer.quick with W.Producer_consumer.tasks = 100 } in
   ignore (W.Producer_consumer.run inst ~threads:3 p);
-  let m, f = Mm_core.Lf_alloc.op_counts t in
+  let m, f = As.op_counts t in
   Alcotest.(check int) "no leaked blocks" m f
 
 let determinism () =
