@@ -146,6 +146,62 @@ let run_bechamel () =
   estimates
 
 (* ------------------------------------------------------------------ *)
+(* Contended throughput (simulated, deterministic): 16 threads on ONE
+   shared processor heap — the shape where per-superblock anchor
+   contention dominates — for every comparison allocator plus the
+   owner-biased ablation ("new-ob", DESIGN.md §19), under an
+   owner-local workload (threadtest) and a remote-free one (larson). *)
+
+let contended_names =
+  match Mm_harness.Allocators.names with
+  | "new" :: rest -> "new" :: "new-ob" :: rest
+  | l -> l @ [ "new-ob" ]
+
+let run_contended ~seed =
+  let cfg = Cfg.make ~nheaps:1 () in
+  let workloads =
+    [
+      ( "threadtest x16",
+        fun inst ~threads ->
+          Mm_workloads.Threadtest.run inst ~threads
+            Mm_harness.Traced.threadtest_quick );
+      ( "larson x16",
+        fun inst ~threads ->
+          Mm_workloads.Larson.run inst ~threads
+            { Mm_workloads.Larson.quick with Mm_workloads.Larson.rounds = 2_000 }
+      );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (wname, wl) ->
+        List.map
+          (fun name ->
+            let sim =
+              Mm_runtime.Sim.create ~cpus:16 ~seed
+                ~max_cycles:100_000_000_000 ()
+            in
+            let rt = Mm_runtime.Rt.simulated sim in
+            let inst = Mm_harness.Allocators.make name rt cfg in
+            let m = wl inst ~threads:16 in
+            (wname, name, m.Mm_workloads.Metrics.throughput))
+          contended_names)
+      workloads
+  in
+  print_endline
+    "== Contended throughput (simulated, 16 threads, ONE shared heap) ==";
+  List.iter print_endline
+    (Mm_harness.Render.table
+       ~header:[ "workload"; "allocator"; "throughput" ]
+       ~rows:
+         (List.map
+            (fun (w, a, thr) ->
+              [ w; a; Mm_harness.Render.fmt_throughput thr ])
+            rows));
+  print_newline ();
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results. *)
 
 let json_path () =
@@ -161,7 +217,7 @@ let json_path () =
       in
       find (Array.to_list Sys.argv)
 
-let bench_json ~full ~seed estimates outcomes =
+let bench_json ~full ~seed estimates contended outcomes =
   Json.Obj
     [
       ("format", Json.Str "mm-bench/1");
@@ -180,6 +236,17 @@ let bench_json ~full ~seed estimates outcomes =
                      | None -> Json.Null );
                  ])
              estimates) );
+      ( "contended",
+        Json.Arr
+          (List.map
+             (fun (w, a, thr) ->
+               Json.Obj
+                 [
+                   ("workload", Json.Str w);
+                   ("allocator", Json.Str a);
+                   ("throughput", Json.Float thr);
+                 ])
+             contended) );
       ( "experiments",
         Json.Arr
           (List.map
@@ -282,6 +349,7 @@ let () =
   let estimates = run_bechamel () in
   apply_gates (gates ()) estimates;
   if gate_only () then exit 0;
+  let contended = run_contended ~seed in
   let outcomes =
     List.map
       (fun (id, _) ->
@@ -294,7 +362,8 @@ let () =
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc (Json.to_string (bench_json ~full ~seed estimates outcomes));
+      output_string oc
+        (Json.to_string (bench_json ~full ~seed estimates contended outcomes));
       output_char oc '\n';
       close_out oc;
       Printf.printf "results written to %s\n%!" path

@@ -341,6 +341,37 @@ let quick_cmd =
       end;
       Printf.printf "sbcache monitor: %d probes clean\n"
         (List.length m.M.entries);
+      (* 6b. The owner-biased free-list mode under the same exhaustive
+         budget and kill/stall monitor: the remote-free push and
+         bulk-claim windows (pub.push, pub.claim) must preserve
+         address exclusivity across ownership handoffs and rescues,
+         and a thread killed mid-push/claim must only leak its chain,
+         never double-serve a block. *)
+      let ob = Option.get (T.find "lf_alloc_owner_biased") in
+      let r = E.exhaustive ob ~threads ~bound:3 ~budget:20_000 in
+      (match r.E.finding with
+      | Some f ->
+          fail "lf_alloc_owner_biased violation: %s (%s)" f.E.error
+            (S.to_string f.E.minimized)
+      | None ->
+          Printf.printf
+            "lf_alloc_owner_biased exhaustive: clean (%d executions%s)\n"
+            r.E.executions
+            (if r.E.complete then ", complete" else ""));
+      let m = M.run ob ~threads ~modes:[ M.Kill; M.Stall ] ~rounds:2 in
+      if not m.M.ok then begin
+        List.iter
+          (fun (e : M.entry) ->
+            match e.M.result with
+            | Error msg when e.M.fired ->
+                Printf.eprintf "monitor %s %s round %d: %s\n" e.M.label
+                  (M.mode_name e.M.mode) e.M.round msg
+            | _ -> ())
+          m.M.entries;
+        fail "owner-biased lock-freedom monitor failed"
+      end;
+      Printf.printf "owner-biased monitor: %d probes clean\n"
+        (List.length m.M.entries);
       (* 7. The page manager's buddy backend under the same exhaustive
          budget and kill/stall monitor: concurrent split/coalesce must
          never hand out overlapping page extents, and a thread killed

@@ -55,7 +55,7 @@ let allocator_arg =
   Arg.(
     value & opt string "new"
     & info [ "allocator" ] ~docv:"A"
-        ~doc:"Allocator under trace (new, new-reuse, new-cached, bw, \
+        ~doc:"Allocator under trace (new, new-reuse, new-ob, new-cached, bw, \
               hoard, ptmalloc, libc). new-reuse is the $(b,new) \
               allocator over the reuse-in-place descriptor pool \
               (DESIGN.md S17).")
@@ -184,8 +184,19 @@ let report_cmd =
                 hazard-pointer scans (absolute count; the reuse-in-place \
                 descriptor pool, DESIGN.md S17, is gated at 0).")
   in
+  let max_failed_cas =
+    Arg.(
+      value & opt_all string []
+      & info [ "max-failed-cas-per-1k" ] ~docv:"SITES:X"
+          ~doc:"CI gate (repeatable): exit 2 when the summed failed-CAS \
+                count of the named contention-census sites, joined with \
+                $(b,+) (e.g. anchor.pop+anchor.free:5.0), exceeds X per \
+                1k allocator ops. The owner-biased free-list mode \
+                (DESIGN.md S19) is gated on the anchor sites it \
+                collapses.")
+  in
   let run input workload threads seed cpus heaps capacity allocator sb_cache
-      page_manager format max_mmap max_large_mmap max_hp_scan =
+      page_manager format max_mmap max_large_mmap max_hp_scan max_failed_cas =
     match
       obtain input workload threads seed cpus heaps capacity allocator
         sb_cache page_manager
@@ -226,23 +237,59 @@ let report_cmd =
             0
           end
         in
-        match
-          ( Option.map (fun l -> gate "mmap" l (H.trace_mmaps trace)) max_mmap,
-            Option.map
-              (fun l -> gate "large-mmap" l (H.trace_large_mmaps trace))
-              max_large_mmap,
-            Option.map
-              (fun l -> count_gate "hp-scan" l (H.trace_hp_scans trace))
-              max_hp_scan )
-        with
-        | Some 2, _, _ | _, Some 2, _ | _, _, Some 2 -> 2
-        | _ -> 0)
+        let failed_cas_gate spec =
+          match String.rindex_opt spec ':' with
+          | None ->
+              usage_err
+                (spec ^ ": expected SITE[+SITE..]:BOUND (see `trace report \
+                         --help')")
+          | Some i -> (
+              let sites =
+                String.split_on_char '+' (String.sub spec 0 i)
+              in
+              let bound =
+                float_of_string_opt
+                  (String.sub spec (i + 1) (String.length spec - i - 1))
+              in
+              let known = List.map fst H.core_sites in
+              match
+                ( bound,
+                  List.find_opt (fun s -> not (List.mem s known)) sites )
+              with
+              | None, _ -> usage_err (spec ^ ": bound is not a number")
+              | _, Some bad ->
+                  usage_err
+                    (bad ^ ": not a contention-census site (see `trace \
+                            report' output)")
+              | Some b, None ->
+                  gate
+                    (String.concat "+" sites ^ " failed-CAS")
+                    b
+                    (H.trace_failed_cas trace ~sites))
+        in
+        let codes =
+          List.filter_map Fun.id
+            [
+              Option.map
+                (fun l -> gate "mmap" l (H.trace_mmaps trace))
+                max_mmap;
+              Option.map
+                (fun l -> gate "large-mmap" l (H.trace_large_mmaps trace))
+                max_large_mmap;
+              Option.map
+                (fun l -> count_gate "hp-scan" l (H.trace_hp_scans trace))
+                max_hp_scan;
+            ]
+          @ List.map failed_cas_gate max_failed_cas
+        in
+        List.fold_left max 0 codes)
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ input_arg $ workload_arg $ threads_arg $ seed_arg
       $ cpus_arg $ heaps_arg $ capacity_arg $ allocator_arg $ sb_cache_arg
-      $ page_manager_arg $ format $ max_mmap $ max_large_mmap $ max_hp_scan)
+      $ page_manager_arg $ format $ max_mmap $ max_large_mmap $ max_hp_scan
+      $ max_failed_cas)
 
 let export_cmd =
   let doc =

@@ -213,6 +213,63 @@ let lf_alloc_sbcache =
     run = sbcache_run;
   }
 
+(* The owner-biased target: the allocator with `Owner_biased free
+   lists (DESIGN.md §19) and two-block superblocks (1900-byte requests
+   in 4096-byte superblocks), so three mallocs per thread force an
+   ownership handoff (pub.claim) and the block each thread mails to
+   its neighbour comes back as a remote free (pub.push) whose rescue
+   and owner-refill claims all fall inside the explored window. The
+   mailbox is a plain single-producer/single-consumer slot per thread
+   — written and drained between simulation points, never waited on,
+   so killed threads just leak their slice. *)
+let ob_cfg =
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:2 ~desc_scan_threshold:1
+    ~store_capacity:128 ~free_lists:`Owner_biased ()
+
+let ob_run ~threads ?on_label ?notify_done ?(quiescent_checks = true) ~sched
+    () =
+  let s = make_sim ~threads ?on_label ~sched () in
+  let t = A.create s ob_cfg in
+  let orc = Oracle.create_alloc () in
+  let mailbox = Array.make (max threads 1) 0 in
+  let m () =
+    let a = A.malloc t 1900 in
+    Oracle.malloc_returned orc a;
+    a
+  in
+  let f a =
+    let p = Oracle.free_invoked orc a in
+    A.free t a;
+    Oracle.free_returned orc p
+  in
+  let body tid =
+    let w = m () in
+    let a = m () in
+    let b = m () in
+    mailbox.((tid + 1) mod threads) <- w;
+    f a;
+    f b;
+    (* Non-blocking drain: a neighbour that has not mailed yet (or was
+       killed) just leaves the slot empty. *)
+    let incoming = mailbox.(tid) in
+    if incoming <> 0 then begin
+      mailbox.(tid) <- 0;
+      f incoming
+    end
+  in
+  guarded (fun () ->
+      spawn s ~threads ?notify_done body;
+      if quiescent_checks then A.check_invariants t)
+
+let lf_alloc_owner_biased =
+  {
+    name = "lf_alloc_owner_biased";
+    doc = "owner-biased free lists; pub.push/pub.claim windows + same oracle";
+    default_threads = 2;
+    labels = Labels.all;
+    run = ob_run;
+  }
+
 (* The page-manager target: the span reservoir + lock-free buddy
    (lib/pages) driven directly, against per-page address exclusivity —
    no two live grants may overlap in any page. Spans are 4 pages, so
@@ -504,7 +561,8 @@ let tagged_id_stack =
   }
 
 let all =
-  [ lf_alloc; lf_alloc_notag; lf_alloc_cached; lf_alloc_sbcache; buddy;
-    ms_queue; desc_pool; desc_pool_reuse; treiber_stack; tagged_id_stack ]
+  [ lf_alloc; lf_alloc_notag; lf_alloc_cached; lf_alloc_sbcache;
+    lf_alloc_owner_biased; buddy; ms_queue; desc_pool; desc_pool_reuse;
+    treiber_stack; tagged_id_stack ]
 
 let find name = List.find_opt (fun t -> t.name = name) all

@@ -54,6 +54,16 @@ val lf_alloc_sbcache : t
     race. Expected clean: a descriptor lost between stack pop and
     anchor install leaks with its superblock, never double-serves. *)
 
+val lf_alloc_owner_biased : t
+(** The oracle workload with owner-biased private/public free lists on
+    ({!Mm_mem.Alloc_config.t.free_lists} = [`Owner_biased], DESIGN.md
+    §19) and two-block superblocks, exercising the remote-free push
+    and bulk-claim CAS windows (labels [pub.push] / [pub.claim]):
+    ownership handoff, pusher-driven rescue and owner refill all fall
+    inside three mallocs + a mailed remote free per thread. Expected
+    clean: a thread killed holding a claimed chain leaks it, never
+    double-serves. *)
+
 val buddy : t
 (** The page manager's span reservoir + lock-free buddy
     ([Mm_pages.Page_manager], 4-page spans) driven directly: each

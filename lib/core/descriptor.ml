@@ -5,6 +5,7 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
   type t = {
     id : int;
     anchor : int Rt.atomic;
+    pub : int Rt.atomic;
     mutable next_d : t option;
     mutable next_id : int;
     mutable next_c : int;
@@ -12,6 +13,9 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
     mutable heap_gid : int;
     mutable sz : int;
     mutable maxcount : int;
+    mutable owner : int;
+    mutable priv_head : int;
+    mutable priv_count : int;
   }
 
   type table = {
@@ -48,6 +52,7 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
             anchor =
               Rt.Atomic.make tbl.rt
                 (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Empty ~tag:0);
+            pub = Rt.Atomic.make tbl.rt Pub_word.empty;
             next_d = None;
             next_id = -1;
             next_c = -1;
@@ -55,6 +60,9 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
             heap_gid = -1;
             sz = 0;
             maxcount = 0;
+            owner = -1;
+            priv_head = 0;
+            priv_count = 0;
           }
         in
         Rt.Atomic.set tbl.slots.(id) (Some d);

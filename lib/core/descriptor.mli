@@ -13,6 +13,11 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) : sig
   type t = {
     id : int;
     anchor : int Rt.atomic;  (** packed {!Anchor} word *)
+    pub : int Rt.atomic;
+        (** packed {!Pub_word}: the public remote-free list of the
+            owner-biased mode (DESIGN.md §19). Stays at
+            [Pub_word.empty] — and costs nothing — under the default
+            [`Anchor] free lists. *)
     mutable next_d : t option;
         (** freelist link, hazard-pointer pool variant *)
     mutable next_id : int;  (** freelist link, tagged pool variant; -1 = nil *)
@@ -24,6 +29,17 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) : sig
     mutable heap_gid : int;  (** owning processor heap (global index) *)
     mutable sz : int;  (** block size (payload + prefix) *)
     mutable maxcount : int;  (** blocks per superblock *)
+    mutable owner : int;
+        (** owner-biased mode: dense thread id of the current owner, -1
+            when unowned. Debug/introspection only — the authoritative
+            ownership test is the owner's own [owned] slot in
+            [Lf_alloc] (always coherent for the reading thread) plus
+            the [pub] word's owned bit. *)
+    mutable priv_head : int;
+        (** owner-biased mode: head block index of the private LIFO.
+            Garbage when [priv_count = 0]; read and written only by the
+            owning thread (plain accesses, no fences needed). *)
+    mutable priv_count : int;  (** blocks on the private LIFO *)
   }
   (** The mutable fields are written only while the descriptor is privately
       owned (freshly allocated or freshly popped from a partial structure)

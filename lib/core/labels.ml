@@ -25,6 +25,8 @@ let bc_pop_cas = "bc.pop_cas"
 let bc_flush_cas = "bc.flush_cas"
 let sbc_park = "sbc.park"
 let sbc_adopt = "sbc.adopt"
+let pub_push = "pub.push"
+let pub_claim = "pub.claim"
 
 let all =
   [
@@ -55,4 +57,48 @@ let all =
     bc_flush_cas;
     sbc_park;
     sbc_adopt;
+    pub_push;
+    pub_claim;
+  ]
+
+(* The census registry: how the contention-sites table groups this
+   layer's labels. Everything that reports failed CASes — the harness's
+   sites table, [Lf_alloc.retry_counts], the obs-vs-striped equality
+   proof — derives its row set (and row order) from this list plus
+   [Pg_labels.census_sites], so a new label shows up everywhere by
+   being added here; one it can't be grouped under fails loudly.
+   [census_markers] are the labels with no striped retry counter —
+   pure scheduling points, or windows whose sole CAS is one-shot (a
+   failure is a state change, not a retry). Together the two lists must
+   partition [all] (asserted by the registry-completeness test). *)
+let census_sites =
+  [
+    ("active.reserve", [ ma_read_active; mp_reserve_cas; bc_reserve_cas ]);
+    ("anchor.pop", [ ma_pop_cas; mp_pop_cas; bc_pop_cas ]);
+    ("anchor.free", [ free_cas; bc_flush_cas ]);
+    ("update_active", [ ua_credits_cas ]);
+    ("partial.slot", [ free_put_partial ]);
+    ("sbc.park", [ sbc_park ]);
+    ("sbc.adopt", [ sbc_adopt ]);
+    ("desc.spill", [ desc_spill ]);
+    ("desc.steal", [ desc_steal ]);
+    ("pub.push", [ pub_push ]);
+    ("pub.claim", [ pub_claim ]);
+  ]
+
+let census_markers =
+  [
+    ma_reserved;
+    ma_popped;
+    ua_install;
+    ua_return_credits;
+    mp_got_partial;
+    hgp_slot_cas;
+    mnsb_install;
+    free_empty;
+    red_slot_cas;
+    desc_alloc;
+    desc_refill;
+    desc_retire;
+    desc_push;
   ]

@@ -115,5 +115,28 @@ val sbc_adopt : string
     adopting a parked descriptor in [MallocFromNewSB], conferring
     exclusive ownership exactly like a descriptor-pool pop. *)
 
+val pub_push : string
+(** Owner-biased free lists (DESIGN.md §19): before the CAS pushing a
+    remotely freed block onto its superblock's public list
+    ({!Pub_word}). *)
+
+val pub_claim : string
+(** Owner-biased free lists: before a CAS that claims or transfers the
+    public list — the owner's bulk claim, the owner handoff, and the
+    rescue/acquire own and un-own flips. *)
+
 val all : string list
 (** Every label above; fault-injection tests iterate this list. *)
+
+val census_sites : (string * string list) list
+(** The contention-sites census registry: [(site, labels)] rows, in
+    table order. Each site groups the labels whose failed CASes one
+    striped retry counter of {!Lf_alloc} counts; the harness's sites
+    table and {!Lf_alloc.retry_counts} both derive their row set from
+    this list (followed by [Mm_pages.Pg_labels.census_sites]), so a new
+    label appears in every census by being added here. *)
+
+val census_markers : string list
+(** Labels with no striped retry counter (pure scheduling points, or
+    one-shot CAS windows). [census_sites]'s labels and [census_markers]
+    partition [all]; a test asserts this. *)

@@ -52,13 +52,26 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
     retry_span_reserve : int array;
     retry_desc_spill : int array;
     retry_desc_steal : int array;
+    retry_pub_push : int array;
+    retry_pub_claim : int array;
+    (* Owner-biased free lists (DESIGN.md §19): [ob] caches the mode
+       test off the config; [owned.(tid).(sc)] is the id of the
+       superblock thread [tid] currently owns for size class [sc] (0 =
+       none). Each slot is written only by thread [tid] itself, so the
+       ownership test in [free] reads its own always-coherent entry
+       rather than a possibly stale cross-thread descriptor field. *)
+    ob : bool;
+    owned : int array array;
   }
 
+  (* The contention-site row set is the label registry's census grouping
+     (this layer's followed by the page layer's) — a new labeled site
+     added to [Labels.census_sites] appears here, in the harness table
+     and in the obs equality proof automatically, and one without a
+     striped counter fails loudly in [retry_counts]. *)
   let retry_sites =
-    [ "active.reserve"; "anchor.pop"; "anchor.free"; "update_active";
-      "partial.slot"; "sbc.park"; "sbc.adopt"; "buddy.acquire";
-      "buddy.release"; "buddy.coalesce"; "span.reserve"; "desc.spill";
-      "desc.steal" ]
+    List.map fst Labels.census_sites
+    @ List.map fst Mm_pages.Pg_labels.census_sites
 
   let name = "new"
 
@@ -146,27 +159,40 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
       retry_span_reserve;
       retry_desc_spill;
       retry_desc_steal;
+      retry_pub_push = Array.make Rt.max_threads 0;
+      retry_pub_claim = Array.make Rt.max_threads 0;
+      ob = cfg.free_lists = `Owner_biased;
+      owned = Array.init Rt.max_threads (fun _ -> Array.make nclasses 0);
     }
 
   let bump t arr = arr.(Rt.self t.rt) <- arr.(Rt.self t.rt) + 1
+  let fail fmt = Format.kasprintf failwith fmt
+
+  let site_counter t = function
+    | "active.reserve" -> t.retry_reserve
+    | "anchor.pop" -> t.retry_pop
+    | "anchor.free" -> t.retry_free
+    | "update_active" -> t.retry_update_active
+    | "partial.slot" -> t.retry_partial_slot
+    | "sbc.park" -> t.retry_park
+    | "sbc.adopt" -> t.retry_adopt
+    | "buddy.acquire" -> t.retry_buddy_acquire
+    | "buddy.release" -> t.retry_buddy_release
+    | "buddy.coalesce" -> t.retry_buddy_coalesce
+    | "span.reserve" -> t.retry_span_reserve
+    | "desc.spill" -> t.retry_desc_spill
+    | "desc.steal" -> t.retry_desc_steal
+    | "pub.push" -> t.retry_pub_push
+    | "pub.claim" -> t.retry_pub_claim
+    | site ->
+        invalid_arg
+          (Printf.sprintf
+             "Lf_alloc: census site %S has no striped retry counter" site)
 
   let retry_counts t =
-    let sum a = Array.fold_left ( + ) 0 a in
-    [
-      ("active.reserve", sum t.retry_reserve);
-      ("anchor.pop", sum t.retry_pop);
-      ("anchor.free", sum t.retry_free);
-      ("update_active", sum t.retry_update_active);
-      ("partial.slot", sum t.retry_partial_slot);
-      ("sbc.park", sum t.retry_park);
-      ("sbc.adopt", sum t.retry_adopt);
-      ("buddy.acquire", sum t.retry_buddy_acquire);
-      ("buddy.release", sum t.retry_buddy_release);
-      ("buddy.coalesce", sum t.retry_buddy_coalesce);
-      ("span.reserve", sum t.retry_span_reserve);
-      ("desc.spill", sum t.retry_desc_spill);
-      ("desc.steal", sum t.retry_desc_steal);
-    ]
+    List.map
+      (fun site -> (site, Array.fold_left ( + ) 0 (site_counter t site)))
+      retry_sites
 
   let rt t = t.rt
   let store t = t.store
@@ -587,6 +613,422 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
     | None -> malloc_from_new_sb_fresh t heap
 
   (* ------------------------------------------------------------------ *)
+  (* Owner-biased private/public free lists (DESIGN.md §19),
+     [Alloc_config.free_lists = `Owner_biased].
+
+     In this mode no free ever CASes the anchor. A superblock is either
+     OWNED by one thread — its anchor frozen at FULL(0,0), its free
+     blocks split between the owner's private plain-write LIFO
+     (descriptor fields [priv_head]/[priv_count], links threaded
+     through payload words) and the public {!Pub_word} list — or
+     UNOWNED, in which case its free blocks all sit on the anchor
+     exactly as in the paper's figures and the pub word is the sole
+     gate for (re)gaining ownership. The governing invariant: the
+     anchor of a descriptor whose pub word has the owned bit set is
+     written only by the thread that set that bit, which turns every
+     anchor update below into an exclusive plain [Atomic.set]; the
+     EMPTY/FULL state machine, [Sb_cache] parking and [Partial_list]
+     publication are shared with the anchor path unchanged. *)
+
+  let ob_block_addr (desc : Descriptor.t) idx =
+    desc.Descriptor.sb + (idx * desc.Descriptor.sz)
+
+  (* Private-LIFO pop; caller guarantees [priv_count > 0]. The link
+     reads are non-racy: a private block is free and reachable only by
+     the owning thread. *)
+  let priv_pop t (desc : Descriptor.t) =
+    let addr = ob_block_addr desc desc.Descriptor.priv_head in
+    desc.Descriptor.priv_head <- clamp_index (Store.read_word t.store addr);
+    desc.Descriptor.priv_count <- desc.Descriptor.priv_count - 1;
+    addr
+
+  let priv_push t (desc : Descriptor.t) base idx =
+    Store.write_word t.store base desc.Descriptor.priv_head;
+    desc.Descriptor.priv_head <- idx;
+    desc.Descriptor.priv_count <- desc.Descriptor.priv_count + 1
+
+  (* Push one pre-linked chain onto the public list in one CAS. [link]
+     rewrites the chain tail's link word against the currently observed
+     head; the fence publishes the link writes before the CAS makes
+     them reachable (mm-sa write-before-publish). Returns the word the
+     CAS replaced so the caller can see whether it pushed onto an
+     unowned list (and must rescue, below). *)
+  let ob_push_loop t (desc : Descriptor.t) ~link ~make_new =
+    let rec go spins =
+      let oldpub = Rt.Atomic.get desc.Descriptor.pub in
+      link oldpub;
+      Rt.fence t.rt;
+      Rt.label t.rt Labels.pub_push;
+      if Rt.Atomic.compare_and_set desc.Descriptor.pub oldpub (make_new oldpub)
+      then oldpub
+      else begin
+        bump t t.retry_pub_push;
+        go (Backoff.spin t.rt spins)
+      end
+    in
+    go Backoff.initial
+
+  (* Walk the [n] blocks of an exclusively held chain to its tail. *)
+  let ob_chain_tail t (desc : Descriptor.t) head n =
+    let idx = ref head in
+    for _ = 2 to n do
+      idx := clamp_index (Store.read_word t.store (ob_block_addr desc !idx))
+    done;
+    !idx
+
+  (* Pusher-driven reconciliation of an unowned superblock: a thread
+     whose push lands on an unowned pub word must drain the list back
+     into the anchor, because nobody else will (the owner is gone).
+     Own-and-claim in one CAS — which excludes acquirers and other
+     rescuers from the anchor — then flush the claimed chain:
+     FULL→PARTIAL republishes through [heap_put_partial], a
+     completely-free superblock takes the EMPTY transition and
+     releases, both exactly as the anchor path. Un-own and loop for
+     pushes that raced in. Lock-free: every iteration transfers some
+     thread's completed frees; a thread killed mid-rescue leaves the
+     descriptor owned, which every other thread skips past. *)
+  let rec ob_rescue t (desc : Descriptor.t) =
+    let oldpub = Rt.Atomic.get desc.Descriptor.pub in
+    if Pub_word.owned oldpub || Pub_word.count oldpub = 0 then ()
+    else begin
+      Rt.label t.rt Labels.pub_claim;
+      if
+        not
+          (Rt.Atomic.compare_and_set desc.Descriptor.pub oldpub
+             (Pub_word.claim oldpub))
+      then begin
+        bump t t.retry_pub_claim;
+        ob_rescue t desc
+      end
+      else begin
+        let n = Pub_word.count oldpub and head = Pub_word.head oldpub in
+        let a = Rt.Atomic.get desc.Descriptor.anchor in
+        let oldstate = Anchor.state a in
+        (match oldstate with
+        | Anchor.Full | Anchor.Partial -> ()
+        | st ->
+            fail "ob_rescue: desc %d has pushed frees in state %s"
+              desc.Descriptor.id
+              (Anchor.state_to_string st));
+        let total = Anchor.count a + n in
+        let tail = ob_chain_tail t desc head n in
+        Store.write_word t.store (ob_block_addr desc tail) (Anchor.avail a);
+        if total = desc.Descriptor.maxcount then begin
+          (* Every block of the superblock is free, so no thread holds
+             one and no further push can race: plain-reset both words.
+             The anchor takes the adoptable parked-EMPTY form — all
+             [maxcount] blocks chained from avail, count = maxcount-1 —
+             matching the anchor path's EMPTY transition. *)
+          Rt.Atomic.set desc.Descriptor.anchor
+            (Anchor.make ~avail:head
+               ~count:(desc.Descriptor.maxcount - 1)
+               ~state:Anchor.Empty ~tag:(Anchor.tag a + 1));
+          Rt.Atomic.set desc.Descriptor.pub (Pub_word.unowned_empty oldpub);
+          (* Same observable transition as the anchor path's EMPTY CAS,
+             but no [free_empty] label: this update is exclusive (no
+             read→CAS window to interpose on). *)
+          Rt.obs_event t.rt Rt.Obs.Transition "sb.empty";
+          if not (Sb_cache.enabled t.sbc) then release_sb t desc.Descriptor.sb;
+          match oldstate with
+          | Anchor.Partial ->
+              (* Already in the partial structures: remove-then-release
+                 with the same slot-ABA guard as the anchor path. *)
+              remove_empty_desc t (heap_of_gid t desc.Descriptor.heap_gid) desc
+          | _ ->
+              (* FULL: unreferenced, exclusively ours. *)
+              release_empty t desc
+        end
+        else begin
+          Rt.fence t.rt;
+          Rt.Atomic.set desc.Descriptor.anchor
+            (Anchor.make ~avail:head ~count:total ~state:Anchor.Partial
+               ~tag:(Anchor.tag a + 1));
+          (* Republish BEFORE un-owning: a rescuer that claims the pub
+             word after us must find the descriptor already reachable,
+             or its own EMPTY transition could release a descriptor
+             that is in no structure. *)
+          if oldstate = Anchor.Full then begin
+            Rt.obs_event t.rt Rt.Obs.Transition "sb.full->partial";
+            heap_put_partial t desc
+          end;
+          let b = Backoff.create t.rt in
+          let rec un_own () =
+            let p = Rt.Atomic.get desc.Descriptor.pub in
+            Rt.label t.rt Labels.pub_claim;
+            if
+              not
+                (Rt.Atomic.compare_and_set desc.Descriptor.pub p
+                   (Pub_word.un_own p))
+            then begin
+              bump t t.retry_pub_claim;
+              Backoff.once b;
+              un_own ()
+            end
+          in
+          un_own ();
+          ob_rescue t desc
+        end
+      end
+    end
+
+  (* Try to set the owned bit (keeping any pending public blocks: the
+     new owner claims them on its first refill). [false] means a rescue
+     is in flight or a killed thread orphaned the word — callers skip
+     the descriptor rather than wait on anyone. *)
+  let ob_try_own t (desc : Descriptor.t) =
+    let rec go () =
+      let oldpub = Rt.Atomic.get desc.Descriptor.pub in
+      if Pub_word.owned oldpub then false
+      else begin
+        Rt.label t.rt Labels.pub_claim;
+        if
+          Rt.Atomic.compare_and_set desc.Descriptor.pub oldpub
+            (Pub_word.own oldpub)
+        then true
+        else begin
+          bump t t.retry_pub_claim;
+          go ()
+        end
+      end
+    in
+    go ()
+
+  let ob_install t (desc : Descriptor.t) heap tid =
+    desc.Descriptor.owner <- tid;
+    t.owned.(tid).(heap.sc) <- desc.Descriptor.id
+
+  let rec ob_acquire_partial t heap tid =
+    match heap_get_partial t heap with
+    | None -> None
+    | Some desc ->
+        if not (ob_try_own t desc) then begin
+          (* Transient rescue or an orphan: put it back, fall through
+             to a fresh superblock — never wait. *)
+          heap_put_partial t desc;
+          None
+        end
+        else begin
+          let a = Rt.Atomic.get desc.Descriptor.anchor in
+          match Anchor.state a with
+          | Anchor.Empty ->
+              (* EMPTY lingering in a partial structure (the
+                 remove-empty fallback leaves these in the anchor path
+                 too): all blocks free, so no pushers — plain-release
+                 and keep looking. *)
+              Rt.Atomic.set desc.Descriptor.pub
+                (Pub_word.unowned_empty (Rt.Atomic.get desc.Descriptor.pub));
+              release_empty t desc;
+              ob_acquire_partial t heap tid
+          | Anchor.Partial ->
+              (* We own the pub word, so this write is exclusive:
+                 freeze the anchor and take its whole chain private. *)
+              desc.Descriptor.heap_gid <- heap.gid;
+              desc.Descriptor.priv_head <- Anchor.avail a;
+              desc.Descriptor.priv_count <- Anchor.count a;
+              Rt.Atomic.set desc.Descriptor.anchor
+                (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Full
+                   ~tag:(Anchor.tag a + 1));
+              ob_install t desc heap tid;
+              Rt.obs_event t.rt Rt.Obs.Transition "sb.partial->owned";
+              Some desc
+          | st ->
+              fail "ob_acquire_partial: desc %d in state %s in partial \
+                    structures"
+                desc.Descriptor.id
+                (Anchor.state_to_string st)
+        end
+
+  let ob_acquire_new t heap tid =
+    match Sb_cache.adopt t.sbc ~sc:heap.sc with
+    | Some desc ->
+        (* The tag-bumping cache pop made the descriptor private to us;
+           the free list survived parking intact (all [maxcount] blocks
+           chained from avail), so it becomes the private list whole —
+           no re-zeroing, no free-list rebuild, same as adopt_parked. *)
+        desc.Descriptor.heap_gid <- heap.gid;
+        let a0 = Rt.Atomic.get desc.Descriptor.anchor in
+        desc.Descriptor.priv_head <- Anchor.avail a0;
+        desc.Descriptor.priv_count <- desc.Descriptor.maxcount;
+        Rt.Atomic.set desc.Descriptor.anchor
+          (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Full
+             ~tag:(Anchor.tag a0 + 1));
+        Rt.Atomic.set desc.Descriptor.pub
+          (Pub_word.owned_empty (Rt.Atomic.get desc.Descriptor.pub));
+        ob_install t desc heap tid;
+        Rt.obs_event t.rt Rt.Obs.Transition "sb.cached->owned";
+        desc
+    | None ->
+        let desc = Desc_pool.alloc t.pool in
+        let sz = Sc.block_size t.classes heap.sc in
+        let maxcount =
+          min (Sc.blocks_per_superblock t.classes heap.sc) Anchor.max_count
+        in
+        let sb = alloc_sb t in
+        desc.Descriptor.sb <- sb;
+        desc.Descriptor.heap_gid <- heap.gid;
+        desc.Descriptor.sz <- sz;
+        desc.Descriptor.maxcount <- maxcount;
+        Store.init_free_list ~limit:t.cfg.sbsize t.store sb ~sz ~maxcount;
+        desc.Descriptor.priv_head <- 0;
+        desc.Descriptor.priv_count <- maxcount;
+        (* Ownership is per-thread — there is no install race to lose,
+           so both words are plain sets (tags continue the descriptor's
+           own sequence, as everywhere). *)
+        Rt.Atomic.set desc.Descriptor.anchor
+          (Anchor.make ~avail:0 ~count:0 ~state:Anchor.Full
+             ~tag:(Anchor.tag (Rt.Atomic.get desc.Descriptor.anchor) + 1));
+        Rt.Atomic.set desc.Descriptor.pub
+          (Pub_word.owned_empty (Rt.Atomic.get desc.Descriptor.pub));
+        ob_install t desc heap tid;
+        Rt.obs_event t.rt Rt.Obs.Transition "sb.new->owned";
+        desc
+
+  (* The owner's slow path: private list empty. Claim the whole public
+     list in one CAS if it has blocks; otherwise hand the superblock
+     off — un-own the pub word (the anchor stays FULL(0,0) with every
+     block allocated out; remote frees regrow it through pub.push +
+     rescue) so the thread can go acquire a superblock with blocks.
+     Returns [true] when the private list was refilled. *)
+  let rec ob_owner_refill t (desc : Descriptor.t) heap tid =
+    let oldpub = Rt.Atomic.get desc.Descriptor.pub in
+    if Pub_word.count oldpub > 0 then begin
+      Rt.label t.rt Labels.pub_claim;
+      if
+        Rt.Atomic.compare_and_set desc.Descriptor.pub oldpub
+          (Pub_word.claim oldpub)
+      then begin
+        desc.Descriptor.priv_head <- Pub_word.head oldpub;
+        desc.Descriptor.priv_count <- Pub_word.count oldpub;
+        true
+      end
+      else begin
+        bump t t.retry_pub_claim;
+        ob_owner_refill t desc heap tid
+      end
+    end
+    else begin
+      Rt.label t.rt Labels.pub_claim;
+      if
+        Rt.Atomic.compare_and_set desc.Descriptor.pub oldpub
+          (Pub_word.unowned_empty oldpub)
+      then begin
+        (* [owner] is debug-only (never read for logic), so it is
+           cleared after the CAS — nothing belongs in the read→CAS
+           window. *)
+        desc.Descriptor.owner <- -1;
+        t.owned.(tid).(heap.sc) <- 0;
+        Rt.obs_event t.rt Rt.Obs.Transition "sb.owned->handoff";
+        false
+      end
+      else begin
+        (* A push landed between the read and the CAS: keep owning and
+           claim it on the next round. *)
+        bump t t.retry_pub_claim;
+        ob_owner_refill t desc heap tid
+      end
+    end
+
+  let rec malloc_ob t sc tid =
+    let id = t.owned.(tid).(sc) in
+    if id <> 0 then begin
+      let desc = Descriptor.get t.table id in
+      if desc.Descriptor.priv_count > 0 then
+        finish_block t desc (priv_pop t desc)
+      else begin
+        ignore (ob_owner_refill t desc (heap_at t sc tid) tid : bool);
+        malloc_ob t sc tid
+      end
+    end
+    else begin
+      let heap = heap_at t sc tid in
+      let desc =
+        match ob_acquire_partial t heap tid with
+        | Some d -> d
+        | None -> ob_acquire_new t heap tid
+      in
+      (* PARTIAL anchors have count > 0 and new superblocks maxcount
+         blocks, so the fresh private list is never empty here. *)
+      finish_block t desc (priv_pop t desc)
+    end
+
+  let free_ob t base prefix tid =
+    let desc = Descriptor.get t.table (Prefix.desc_id prefix) in
+    (* Same wild-pointer guard as [free_small]. *)
+    let off = base - desc.Descriptor.sb in
+    let idx = off / desc.Descriptor.sz in
+    if
+      off < 0 || idx >= desc.Descriptor.maxcount
+      || idx * desc.Descriptor.sz <> off
+    then invalid_arg "Lf_alloc.free: not a block address";
+    let sc = desc.Descriptor.heap_gid / t.nheaps_ in
+    if t.owned.(tid).(sc) = desc.Descriptor.id then
+      (* Owner: plain-write LIFO push — no CAS, no fence. [sc] is
+         trustworthy only combined with the ownership test: if we own
+         the descriptor we wrote [heap_gid] ourselves; if we don't, no
+         slot of OUR [owned] row can hold its id (ids are unique and
+         the row lists exactly what we own), so a stale [heap_gid] can
+         only produce a correct "not the owner". *)
+      priv_push t desc base idx
+    else begin
+      let oldpub =
+        ob_push_loop t desc
+          ~link:(fun p -> Store.write_word t.store base (Pub_word.head p))
+          ~make_new:(fun p -> Pub_word.push p ~idx)
+      in
+      if not (Pub_word.owned oldpub) then ob_rescue t desc
+    end
+
+  (* Batched push of one descriptor's group from the block cache: the
+     owner's groups go to the private list (plain writes); a remote
+     group is pre-chained and pushed onto pub in one CAS, then rescued
+     if the word was unowned — the batched form of [free_ob]. *)
+  let flush_group_ob t (desc : Descriptor.t) bases tid =
+    let sc = desc.Descriptor.heap_gid / t.nheaps_ in
+    if t.owned.(tid).(sc) = desc.Descriptor.id then
+      List.iter
+        (fun base ->
+          priv_push t desc base
+            ((base - desc.Descriptor.sb) / desc.Descriptor.sz))
+        bases
+    else begin
+      let sb = desc.Descriptor.sb in
+      let n = List.length bases in
+      let first_idx = (List.hd bases - sb) / desc.Descriptor.sz in
+      let rec chain = function
+        | [] | [ _ ] -> ()
+        | a :: (next :: _ as rest) ->
+            Store.write_word t.store a ((next - sb) / desc.Descriptor.sz);
+            chain rest
+      in
+      chain bases;
+      let last = List.nth bases (n - 1) in
+      let oldpub =
+        ob_push_loop t desc
+          ~link:(fun p -> Store.write_word t.store last (Pub_word.head p))
+          ~make_new:(fun p -> Pub_word.push_n p ~idx:first_idx ~n)
+      in
+      if not (Pub_word.owned oldpub) then ob_rescue t desc
+    end
+
+  (* Batched refill for the block cache: hand out up to [want] private
+     blocks. An empty (or absent) private list returns [] and the cache
+     falls back to [malloc], whose owner paths run the refill/handoff
+     logic — cheap either way. *)
+  let refill_batch_ob t ~sc ~want =
+    let tid = Rt.self t.rt in
+    let id = t.owned.(tid).(sc) in
+    if id = 0 then []
+    else begin
+      let desc = Descriptor.get t.table id in
+      let take = min want desc.Descriptor.priv_count in
+      let rec go k acc =
+        if k = 0 then List.rev acc
+        else go (k - 1) (finish_block t desc (priv_pop t desc) :: acc)
+      in
+      go take []
+    end
+
+  (* ------------------------------------------------------------------ *)
   (* malloc (Fig. 4). *)
 
   (* lines 2-3, rerouted: with the page manager on, large blocks come
@@ -619,20 +1061,23 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
     match Sc.class_of_request t.classes n with
     | None -> malloc_large t n (* lines 2-3 *)
     | Some sc ->
-        let heap = heap_at t sc tid in
-        (* line 1 *)
-        let rec attempt () =
-          match malloc_from_active t heap with
-          | Some payload -> payload
-          | None -> (
-              match malloc_from_partial t heap with
-              | Some payload -> payload
-              | None -> (
-                  match malloc_from_new_sb t heap with
-                  | Some payload -> payload
-                  | None -> attempt ()))
-        in
-        attempt ()
+        if t.ob then malloc_ob t sc tid
+        else begin
+          let heap = heap_at t sc tid in
+          (* line 1 *)
+          let rec attempt () =
+            match malloc_from_active t heap with
+            | Some payload -> payload
+            | None -> (
+                match malloc_from_partial t heap with
+                | Some payload -> payload
+                | None -> (
+                    match malloc_from_new_sb t heap with
+                    | Some payload -> payload
+                    | None -> attempt ()))
+          in
+          attempt ()
+        end
 
   (* ------------------------------------------------------------------ *)
   (* free (Fig. 6). *)
@@ -727,6 +1172,7 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
       let base = base_payload - Prefix.prefix_bytes in
       if Prefix.is_large prefix then free_large_block t base prefix
         (* lines 4-5 *)
+      else if t.ob then free_ob t base prefix tid
       else free_small t base prefix
     end
 
@@ -772,6 +1218,8 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
 
   let refill_batch t ~sc ~max:want =
     if want < 1 then invalid_arg "Lf_alloc.refill_batch: max must be >= 1";
+    if t.ob then refill_batch_ob t ~sc ~want
+    else begin
     let heap = my_heap t sc in
     let b = Backoff.create t.rt in
     (* One CAS reserves a whole batch: an Active word with c credits
@@ -849,6 +1297,7 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
             update_active t heap desc morecredits
           else Rt.obs_event t.rt Rt.Obs.Transition "sb.active->full";
         Array.to_list (Array.map (fun addr -> finish_block t desc addr) addrs)
+    end
 
   (* Push a batch of blocks of ONE superblock back in one anchor CAS: the
      batch is pre-chained through the blocks' link words (first -> ... ->
@@ -926,9 +1375,13 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
               order := id :: !order
         end)
       payloads;
+    let tid = Rt.self t.rt in
     List.iter
       (fun id ->
-        flush_group t (Descriptor.get t.table id) (List.rev !(Hashtbl.find groups id)))
+        let desc = Descriptor.get t.table id in
+        let bases = List.rev !(Hashtbl.find groups id) in
+        if t.ob then flush_group_ob t desc bases tid
+        else flush_group t desc bases)
       (List.rev !order)
 
   let op_counts t =
@@ -993,8 +1446,6 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
     let m, f = op_counts t in
     Format.fprintf fmt "  ops: %d mallocs, %d frees@," m f
 
-  let fail fmt = Format.kasprintf failwith fmt
-
   let check_invariants t =
     (* 0. Page-manager conservation: every span's buddy accounts for all
        of its pages as free or busy. *)
@@ -1038,6 +1489,19 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
           Hashtbl.replace parked_ids id sc)
         (Sb_cache.parked t.sbc ~sc)
     done;
+    (* Owner-biased mode: each thread's owned slots reference the
+       superblock it holds privately (always empty under `Anchor). *)
+    let owned_ids = Hashtbl.create 8 in
+    Array.iteri
+      (fun tid row ->
+        Array.iteri
+          (fun sc id ->
+            if id <> 0 then begin
+              add_ref id (Printf.sprintf "Owned[%d][%d]" tid sc);
+              Hashtbl.replace owned_ids id (tid, sc)
+            end)
+          row)
+      t.owned;
     (* 2. Per-descriptor structural checks. *)
     Descriptor.fold_live t.table ~init:() ~f:(fun () d ->
         let a = Rt.Atomic.get d.Descriptor.anchor in
@@ -1049,6 +1513,9 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
                cache, in which case its whole free list must be intact:
                all [maxcount] blocks chained from [avail] with no repeats,
                ready for adoption without re-initialization. *)
+            let pubw = Rt.Atomic.get d.Descriptor.pub in
+            if Pub_word.owned pubw || Pub_word.count pubw > 0 then
+              fail "EMPTY desc %d with a live pub word %a" id Pub_word.pp pubw;
             (match Hashtbl.find_opt parked_ids id with
             | None -> ()
             | Some sc ->
@@ -1088,15 +1555,36 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
             let reserved =
               Option.value (Hashtbl.find_opt active_reserved id) ~default:0
             in
+            let pubw = Rt.Atomic.get d.Descriptor.pub in
+            let owned_here = Hashtbl.mem owned_ids id in
+            if Pub_word.owned pubw && not owned_here then
+              fail "desc %d: pub word owned but in no thread's owned slot" id;
+            if (not (Pub_word.owned pubw)) && Pub_word.count pubw > 0 then
+              fail "desc %d: unowned pub word holds %d blocks" id
+                (Pub_word.count pubw);
+            if owned_here then begin
+              if not (Pub_word.owned pubw) then
+                fail "owned desc %d: pub word not marked owned" id;
+              if st <> Anchor.Full then
+                fail "owned desc %d: anchor %s, want FULL" id
+                  (Anchor.state_to_string st)
+            end;
             (match st with
             | Anchor.Active ->
                 if reserved = 0 then
                   fail "ACTIVE desc %d not installed in any heap" id
             | Anchor.Full ->
                 if Anchor.count a <> 0 then fail "FULL desc %d with count>0" id;
-                if Hashtbl.mem refs id then
-                  fail "FULL desc %d referenced from %s" id
-                    (Hashtbl.find refs id)
+                (* Owner-biased mode: a FULL anchor is exactly the
+                   frozen state of an owned superblock, so an [Owned]
+                   reference is legal; anything else is the bug the
+                   check has always caught. *)
+                (match Hashtbl.find_opt refs id with
+                | Some src
+                  when not (String.length src >= 5 && String.sub src 0 5 = "Owned")
+                  ->
+                    fail "FULL desc %d referenced from %s" id src
+                | _ -> ())
             | Anchor.Partial ->
                 if Anchor.count a = 0 then fail "PARTIAL desc %d with count=0" id;
                 if reserved > 0 then
@@ -1104,24 +1592,34 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) = struct
                 if not (Hashtbl.mem refs id) then
                   fail "PARTIAL desc %d unreachable" id
             | Anchor.Empty -> assert false);
+            let priv_n = if owned_here then d.Descriptor.priv_count else 0 in
+            let pub_n = Pub_word.count pubw in
             let free_n = Anchor.count a + reserved in
-            if free_n > d.Descriptor.maxcount then
-              fail "desc %d: %d free blocks > maxcount %d" id free_n
+            if free_n + priv_n + pub_n > d.Descriptor.maxcount then
+              fail "desc %d: %d free blocks > maxcount %d" id
+                (free_n + priv_n + pub_n)
                 d.Descriptor.maxcount;
-            (* Walk the in-superblock free list. *)
+            (* Walk every free list: the anchor's, and in owner-biased
+               mode the private LIFO and the public list, which
+               together must cover disjoint blocks. *)
             let seen = Array.make d.Descriptor.maxcount false in
-            let idx = ref (Anchor.avail a) in
-            for step = 1 to free_n do
-              if !idx < 0 || !idx >= d.Descriptor.maxcount then
-                fail "desc %d: free-list index %d out of range at step %d" id
-                  !idx step;
-              if seen.(!idx) then
-                fail "desc %d: free list revisits block %d" id !idx;
-              seen.(!idx) <- true;
-              idx :=
-                Store.read_word t.store
-                  (d.Descriptor.sb + (!idx * d.Descriptor.sz))
-            done;
+            let walk what head n =
+              let idx = ref head in
+              for step = 1 to n do
+                if !idx < 0 || !idx >= d.Descriptor.maxcount then
+                  fail "desc %d: %s index %d out of range at step %d" id what
+                    !idx step;
+                if seen.(!idx) then
+                  fail "desc %d: %s revisits block %d" id what !idx;
+                seen.(!idx) <- true;
+                idx :=
+                  Store.read_word t.store
+                    (d.Descriptor.sb + (!idx * d.Descriptor.sz))
+              done
+            in
+            walk "free-list" (Anchor.avail a) free_n;
+            if priv_n > 0 then walk "private-list" d.Descriptor.priv_head priv_n;
+            if pub_n > 0 then walk "public-list" (Pub_word.head pubw) pub_n;
             (* Every block not on the free list is allocated and must carry
                this descriptor in its prefix. *)
             for i = 0 to d.Descriptor.maxcount - 1 do

@@ -12,6 +12,20 @@
     point follows the figures line by line; comments in the
     implementation cite them.
 
+    When the configuration selects [`Owner_biased] free lists
+    (DESIGN.md §19), small malloc/free switch to owner-biased
+    private/public superblock free lists: each thread owns at most one
+    superblock per size class, serving its own mallocs and frees from a
+    private LIFO with plain writes (no CAS at all), while remote frees
+    push onto the descriptor's public {!Pub_word} list ([pub.push]) and
+    the owner reclaims the whole public list in one CAS ([pub.claim]).
+    While a superblock is owned its anchor is frozen at FULL(0,0) and
+    written only by the owner, so the anchor state machine, partial
+    structures, superblock cache and EMPTY/FULL transitions are shared
+    verbatim with the paper's mode — ownership handoff simply re-anchors
+    the superblock. Under the default [`Anchor] configuration every path
+    is bit-identical to the paper's figures.
+
     Progress: no operation ever blocks on another thread. A thread delayed
     or killed at any {!Labels} point leaves the heap in a state from which
     every other thread completes its own operations (verified by the
@@ -85,7 +99,9 @@ module Make (Rt : Mm_runtime.Runtime_intf.S) : sig
   (** Total [(mallocs, frees)] served (striped counters; quiescent). *)
 
   val retry_sites : string list
-  (** Names of the allocator's CAS contention sites. *)
+  (** Names of the allocator's CAS contention sites, derived from the
+      label registry ([Labels.census_sites] then
+      [Mm_pages.Pg_labels.census_sites], in registry order). *)
 
   val pp_heap_summary : Format.formatter -> t -> unit
   (** Human-readable quiescent snapshot of the heap: per size class, the

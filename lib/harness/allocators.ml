@@ -27,6 +27,18 @@ module Stack (Rt : Mm_runtime.Runtime_intf.S) = struct
         Lf.instance vrt
           (Lf.create h
              { cfg with Mm_mem.Alloc_config.desc_pool = Mm_mem.Alloc_config.Reuse })
+    | "new-ob" ->
+        (* The paper allocator with owner-biased private/public free
+           lists (DESIGN.md §19); the name forces the mode whatever the
+           config says, so "new" and "new-ob" differ in exactly that one
+           field. Not in [names]: it is an ablation variant (experiment
+           ablation-ownerbias), not a comparison allocator. *)
+        Lf.instance vrt
+          (Lf.create h
+             {
+               cfg with
+               Mm_mem.Alloc_config.free_lists = `Owner_biased;
+             })
     | "bw" -> Bw.instance vrt (Bw.create h cfg)
     | "new-cached" ->
         (* The paper allocator behind the per-thread block-cache frontend;

@@ -57,6 +57,12 @@ let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
            retry census (incl. desc.spill/desc.steal) is reported. *)
         let t = Lf.create sim { cfg with Cfg.desc_pool = Cfg.Reuse } in
         (Some t, None, Lf.instance rt t)
+    | "new-ob" ->
+        (* Owner-biased private/public free lists (DESIGN.md §19) —
+           same typed handle as "new" so the striped retry census
+           (incl. pub.push/pub.claim) is reported. *)
+        let t = Lf.create sim { cfg with Cfg.free_lists = `Owner_biased } in
+        (Some t, None, Lf.instance rt t)
     | "new-tagged" ->
         (* The IBM-tag descriptor-freelist ablation (the paper's Fig. 7
            alternative), traced for the ablation-reclaim comparison. *)
@@ -101,27 +107,15 @@ let capture ?(cpus = sim_cpus) ?nheaps ?(capacity = 1 lsl 16)
   }
 
 (* ------------------------------------------------------------------ *)
-(* §4.2.3 contention sites: the label groups of PR 1's CAS-site audit.
-   A site may be CASed from several figure lines (the Active word from
-   MallocFromActive's reserve and MallocFromPartial's install; the
-   anchor pop from both malloc paths), hence label {e groups}. *)
+(* §4.2.3 contention sites: the label groups of PR 1's CAS-site audit,
+   taken straight from the label registries so the trace census, the
+   allocator's striped [Lf_alloc.retry_counts] and the EXPERIMENTS.md
+   tables can never list different rows. A site may be CASed from
+   several figure lines (the Active word from MallocFromActive's
+   reserve and MallocFromPartial's install; the anchor pop from both
+   malloc paths), hence label {e groups}. *)
 
-let core_sites =
-  [
-    ("active.reserve", [ L.ma_read_active; L.mp_reserve_cas; L.bc_reserve_cas ]);
-    ("anchor.pop", [ L.ma_pop_cas; L.mp_pop_cas; L.bc_pop_cas ]);
-    ("anchor.free", [ L.free_cas; L.bc_flush_cas ]);
-    ("update_active", [ L.ua_credits_cas ]);
-    ("partial.slot", [ L.free_put_partial ]);
-    ("sbc.park", [ L.sbc_park ]);
-    ("sbc.adopt", [ L.sbc_adopt ]);
-    ("buddy.acquire", [ Pg.buddy_acquire ]);
-    ("buddy.release", [ Pg.buddy_release ]);
-    ("buddy.coalesce", [ Pg.buddy_coalesce ]);
-    ("span.reserve", [ Pg.span_reserve ]);
-    ("desc.spill", [ L.desc_spill ]);
-    ("desc.steal", [ L.desc_steal ]);
-  ]
+let core_sites = L.census_sites @ Pg.census_sites
 
 let core_retry_counts agg =
   List.map (fun (site, labels) -> (site, Obs_agg.retries agg ~labels)) core_sites
@@ -143,6 +137,19 @@ let trace_large_mmaps (tf : Trace_file.t) =
   match Obs_agg.site agg "store.mmap.large" with
   | Some s -> s.Obs_agg.mmaps
   | None -> 0
+
+(* Summed failed-CAS count of named contention-census sites. Unknown
+   site names are a caller error (the CLI validates against
+   [core_sites] before calling), so raise rather than return 0 — a
+   typo'd gate that silently measures nothing is worse than no gate. *)
+let trace_failed_cas (tf : Trace_file.t) ~sites =
+  let counts = core_retry_counts (Trace_file.agg tf) in
+  List.fold_left
+    (fun n site ->
+      match List.assoc_opt site counts with
+      | Some c -> n + c
+      | None -> invalid_arg ("trace_failed_cas: unknown census site " ^ site))
+    0 sites
 
 (* Hazard-pointer scans recorded in a trace. The reuse-in-place
    descriptor pool (DESIGN.md §17) exists to make this number zero; the
@@ -212,6 +219,7 @@ let report_lines (tf : Trace_file.t) =
     if
       m.allocator <> "new" && m.allocator <> "new-reuse"
       && m.allocator <> "new-tagged" && m.allocator <> "new-cached"
+      && m.allocator <> "new-ob"
     then []
     else
       "" :: "contention sites (failed CAS = one retry):"

@@ -39,7 +39,9 @@ val capture :
     reuse-in-place descriptor pool (DESIGN.md §17), captured with the
     same typed handle as ["new"] so its striped retry census (incl.
     [desc.spill]/[desc.steal]) is reported; ["new-tagged"] is likewise
-    the IBM-tag descriptor-freelist ablation.
+    the IBM-tag descriptor-freelist ablation, and ["new-ob"] the
+    owner-biased private/public free-list mode (DESIGN.md §19, census
+    incl. [pub.push]/[pub.claim]).
     [sb_cache] (default 0 = off, the paper-verbatim path) sets the
     warm-superblock cache depth per size class (DESIGN.md §14);
     [page_manager] (default [false] = off, likewise paper-verbatim)
@@ -53,7 +55,9 @@ val capture :
 
 (** {2 The paper's §4.2.3 contention sites}
 
-    Label groups from PR 1's CAS-site audit: one site may be CASed from
+    Label groups from PR 1's CAS-site audit, derived from the label
+    registries ([Mm_core.Labels.census_sites] then
+    [Mm_pages.Pg_labels.census_sites]): one site may be CASed from
     several figure lines, hence several labels. *)
 
 val core_sites : (string * string list) list
@@ -69,6 +73,13 @@ val trace_large_mmaps : Mm_obs.Trace_file.t -> int
     above the size-class threshold going straight to the OS). Used by
     the [bin/trace.exe report --max-large-mmap-per-1k] CI gate; the
     page manager (DESIGN.md §15) exists to collapse this number. *)
+
+val trace_failed_cas : Mm_obs.Trace_file.t -> sites:string list -> int
+(** Summed failed-CAS count of the named contention-census sites
+    (names from [core_sites]; unknown names raise [Invalid_argument]).
+    Used by the [bin/trace.exe report --max-failed-cas-per-1k] CI gate;
+    the owner-biased free-list mode (DESIGN.md §19) exists to collapse
+    the [anchor.pop]+[anchor.free] sum. *)
 
 val trace_hp_scans : Mm_obs.Trace_file.t -> int
 (** Hazard-pointer scans recorded in the trace. Used by the

@@ -1,6 +1,7 @@
 type partial_policy = Fifo | Lifo
 type desc_pool_kind = Hazard | Tagged | Reuse
 type lock_kind = Tas_backoff | Ticket | Mcs | Pthread_like
+type free_lists = [ `Anchor | `Owner_biased ]
 
 type t = {
   nheaps : int;
@@ -20,6 +21,7 @@ type t = {
   sb_cache_depth : int;
   page_manager : bool;
   span_pages : int;
+  free_lists : free_lists;
 }
 
 let default =
@@ -41,6 +43,7 @@ let default =
     sb_cache_depth = 0;
     page_manager = false;
     span_pages = 64;
+    free_lists = `Anchor;
   }
 
 let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
@@ -55,7 +58,7 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     ?(cache_batch = default.cache_batch)
     ?(sb_cache_depth = default.sb_cache_depth)
     ?(page_manager = default.page_manager) ?(span_pages = default.span_pages)
-    () =
+    ?(free_lists = default.free_lists) () =
   if nheaps < 0 then invalid_arg "Alloc_config: nheaps must be >= 0";
   if maxcredits < 1 || maxcredits > 64 then
     invalid_arg "Alloc_config: maxcredits must be in [1, 64]";
@@ -88,6 +91,7 @@ let make ?(nheaps = default.nheaps) ?(sbsize = default.sbsize)
     sb_cache_depth;
     page_manager;
     span_pages;
+    free_lists;
   }
 
 let resolve_nheaps t ~num_cpus =

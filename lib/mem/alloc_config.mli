@@ -27,6 +27,20 @@ type lock_kind =
   | Mcs  (** Mellor-Crummey–Scott queue lock: FIFO, local spinning *)
   | Pthread_like  (** models a heavier kernel-assisted mutex *)
 
+type free_lists =
+  [ `Anchor
+    (** paper-verbatim: every free CASes its superblock's anchor
+        (Fig. 6), every pop CASes it back out (Fig. 4). *)
+  | `Owner_biased
+    (** scalloc-style split free lists (DESIGN.md §19): the thread that
+        owns a superblock frees into a private plain-write LIFO and
+        claims the public remote-free list in one CAS; remote frees
+        push onto the public tagged list ([pub.push], one CAS). The
+        anchor of an owned superblock is frozen at FULL and written
+        only under public-list ownership, so [sb_cache],
+        [partial_list] and the EMPTY/FULL state machine are
+        unchanged. *) ]
+
 type t = {
   nheaps : int;
       (** processor heaps per size class; 1 enables the §4.2.4 uniprocessor
@@ -81,6 +95,12 @@ type t = {
   span_pages : int;
       (** pages per reserved span when [page_manager] is on (positive
           power of two; default 64 = 256 KiB spans). *)
+  free_lists : free_lists;
+      (** which free-list discipline the core allocator's small-block
+          paths use. [`Anchor] (the default) is bit-identical to the
+          paper's figures; [`Owner_biased] collapses anchor contention
+          by routing frees through per-superblock private/public lists
+          (DESIGN.md §19). *)
 }
 
 val default : t
@@ -103,6 +123,7 @@ val make :
   ?sb_cache_depth:int ->
   ?page_manager:bool ->
   ?span_pages:int ->
+  ?free_lists:free_lists ->
   unit ->
   t
 (** [default] with overrides; validates ranges. *)

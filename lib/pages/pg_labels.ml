@@ -10,3 +10,17 @@ let all =
     buddy_coalesce;
     span_reserve;
   ]
+
+(* Census registry for this layer, appended after
+   [Mm_core.Labels.census_sites] by every failed-CAS census (see the
+   comment there). Each buddy/span label has its own striped counter,
+   so sites and labels coincide; there are no marker labels. *)
+let census_sites =
+  [
+    ("buddy.acquire", [ buddy_acquire ]);
+    ("buddy.release", [ buddy_release ]);
+    ("buddy.coalesce", [ buddy_coalesce ]);
+    ("span.reserve", [ span_reserve ]);
+  ]
+
+let census_markers : string list = []

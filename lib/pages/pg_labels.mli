@@ -23,3 +23,11 @@ val span_reserve : string
 
 val all : string list
 (** Every label above; fault-injection tests iterate this list. *)
+
+val census_sites : (string * string list) list
+(** This layer's contention-sites census rows, appended after
+    [Mm_core.Labels.census_sites] by every failed-CAS census. *)
+
+val census_markers : string list
+(** Labels with no striped retry counter (none in this layer);
+    [census_sites]'s labels and this list partition [all]. *)

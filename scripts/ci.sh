@@ -58,6 +58,17 @@ dune exec bin/trace.exe -- report large-alloc --threads 8 \
 # path leaked back into the Reuse variant. Exit code 2 fails the gate.
 dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
   --allocator new-reuse --max-hp-scan 0 > /dev/null
+# Anchor-contention gate (DESIGN.md §19): the owner-biased free-list
+# mode on the one-heap 16-thread threadtest must keep the summed
+# anchor.pop+anchor.free failed-CAS count under 5 per 1k allocator ops
+# (measured 0.00/1k at the commit that introduced the mode vs
+# 1915.59/1k under the anchor mode on the same run — the private LIFO
+# absorbs owner frees and the pub word batches remote ones, so any
+# rate above 5 means frees leaked back onto the shared anchor). Exit
+# code 2 fails the gate.
+dune exec bin/trace.exe -- report threadtest --threads 16 --heaps 1 \
+  --allocator new-ob --max-failed-cas-per-1k anchor.pop+anchor.free:5.0 \
+  > /dev/null
 dune build @lint
 dune build @sa
 dune runtest

@@ -3,6 +3,7 @@ let () =
     [
       ("smoke", Test_smoke.cases);
       ("specialization", Test_specialization.cases);
+      ("owner-bias", Test_owner_bias.cases);
       ("workloads-smoke", Test_workloads_smoke.cases);
       ("prng", Test_prng.cases);
       ("codecs", Test_codecs.cases);

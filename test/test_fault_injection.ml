@@ -10,12 +10,15 @@
    - kill: the thread dies at the label; survivors complete and the
      allocator remains usable afterwards.
 
-   The probe runs four phases per thread: the bare allocator (reaching
+   The probe runs five phases per thread: the bare allocator (reaching
    every backend label), the block-cache frontend (reaching the batched
    bc.* refill/flush labels, DESIGN.md §13), the warm-superblock cache
-   (sbc.* labels, DESIGN.md §14), and a reuse-in-place descriptor pool
+   (sbc.* labels, DESIGN.md §14), a reuse-in-place descriptor pool
    driven directly with batch_size 1 so the spill/steal hand-off labels
-   fire (desc.spill / desc.steal, DESIGN.md §17).
+   fire (desc.spill / desc.steal, DESIGN.md §17), and a SHARED
+   owner-biased allocator whose threads hand blocks to their neighbour
+   so remote frees push public lists (pub.push) and handoffs, rescues
+   and owner refills claim them (pub.claim, DESIGN.md §19).
 
    Plus schedule fuzzing: many seeds of a mixed workload with full
    invariant checks. *)
@@ -67,6 +70,45 @@ let probe_body ~malloc ~free n tid =
     Array.iter free burst
   done
 
+(* The owner-biased phase shares ONE allocator between all threads:
+   one heap, tiny superblocks, so a 300-block burst outgrows a
+   superblock and forces an owner handoff (pub.claim), and the blocks
+   each thread mails to its neighbour come back as remote frees
+   (pub.push) that trigger rescues and owner refills (pub.claim). *)
+let ob_cfg =
+  Cfg.make ~nheaps:1 ~sbsize:4096 ~maxcredits:1 ~desc_scan_threshold:1
+    ~free_lists:`Owner_biased ()
+
+let threads = 4
+
+(* Mailbox ring: cell [i] is written only by thread [i-1] and drained
+   only by thread [i]. Plain list operations run without a simulation
+   point in between, so producer cons and consumer take are each
+   atomic under the simulated scheduler; draining never waits, so a
+   paused or killed neighbour just leaves its slice unconsumed
+   (leaked, not corrupted). *)
+let probe_ob t mailbox n tid =
+  let next = (tid + 1) mod threads in
+  let burst = Array.make 300 0 in
+  for _ = 1 to n do
+    for i = 0 to Array.length burst - 1 do
+      burst.(i) <- A.malloc t 8
+    done;
+    (* Mail the head of the burst to the neighbour, free the rest
+       locally (private-LIFO pushes, or pub.push + rescue for blocks
+       of an already handed-off superblock). *)
+    for i = 0 to 49 do
+      mailbox.(next) <- burst.(i) :: mailbox.(next)
+    done;
+    for i = 50 to Array.length burst - 1 do
+      A.free t burst.(i)
+    done;
+    (* Non-blocking drain: every one of these is a remote free. *)
+    let mine = mailbox.(tid) in
+    mailbox.(tid) <- [];
+    List.iter (A.free t) mine
+  done
+
 (* The reuse-pool phase drives a Reuse descriptor pool directly with
    batch_size 1: the private LIFO holds one descriptor, so every
    second retire spills to the shared stack (desc.spill) and a drained
@@ -86,22 +128,26 @@ let probe_reuse pool n =
     P.retire pool d
   done
 
-(* Three allocators and a reuse pool on one runtime, and a body running
-   the plain phase, the cached phase, the warm-superblock phase, then
-   the reuse-pool phase — together they reach every label in L.all. *)
+(* Four allocators and a reuse pool on one runtime, and a body running
+   the plain phase, the cached phase, the warm-superblock phase, the
+   reuse-pool phase, then the shared owner-biased phase — together
+   they reach every label in L.all. *)
 let probe_pair rt =
   let t = A.create rt probe_cfg in
   let tc = Bc.create rt cached_cfg in
   let ts = A.create rt sbc_cfg in
+  let tob = A.create rt ob_cfg in
+  let mailbox = Array.make threads [] in
   let table = D.create_table rt ~capacity:256 in
   let pool = P.create rt table ~kind:Cfg.Reuse ~batch_size:1 () in
   let body n tid =
     probe_body ~malloc:(A.malloc t) ~free:(A.free t) n tid;
     probe_body ~malloc:(Bc.malloc tc) ~free:(Bc.free tc) n tid;
     probe_body ~malloc:(A.malloc ts) ~free:(A.free ts) n tid;
-    probe_reuse pool n
+    probe_reuse pool n;
+    probe_ob tob mailbox n tid
   in
-  (t, tc, ts, pool, body)
+  (t, tc, ts, tob, pool, body)
 
 let coverage () =
   let hits = Hashtbl.create 32 in
@@ -109,9 +155,9 @@ let coverage () =
     Hashtbl.replace hits l ();
     Sim.Continue
   in
-  let s = sim ~cpus:4 ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, _pool, body = probe_pair s in
-  ignore (Sim.run s (Array.init 4 (fun _ -> body 4)));
+  let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
+  let t, tc, ts, tob, _pool, body = probe_pair s in
+  ignore (Sim.run s (Array.init threads (fun _ -> body 4)));
   List.iter
     (fun l ->
       if not (Hashtbl.mem hits l) then
@@ -119,9 +165,8 @@ let coverage () =
     L.all;
   A.check_invariants t;
   Bc.check_invariants tc;
-  A.check_invariants ts
-
-let threads = 4
+  A.check_invariants ts;
+  A.check_invariants tob
 
 let pause_at label () =
   (* The first thread to reach [label] parks there until every other
@@ -143,7 +188,7 @@ let pause_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, _pool, pbody = probe_pair s in
+  let t, tc, ts, tob, _pool, pbody = probe_pair s in
   let body tid =
     pbody 3 tid;
     finished.(tid) <- true
@@ -158,7 +203,8 @@ let pause_at label () =
      fully consistent (cached blocks remain allocated by design). *)
   A.check_invariants t;
   Bc.check_invariants tc;
-  A.check_invariants ts
+  A.check_invariants ts;
+  A.check_invariants tob
 
 let kill_at label () =
   let killed = ref (-1) in
@@ -170,7 +216,7 @@ let kill_at label () =
     else Sim.Continue
   in
   let s = sim ~cpus:threads ~max_cycles:50_000_000_000 ~on_label () in
-  let t, tc, ts, pool, pbody = probe_pair s in
+  let t, tc, ts, tob, pool, pbody = probe_pair s in
   let completed = Array.make threads false in
   let body tid =
     pbody 3 tid;
@@ -199,6 +245,8 @@ let kill_at label () =
           Array.iter (Bc.free tc) addrs;
           let addrs = Array.init 200 (fun _ -> A.malloc ts 8) in
           Array.iter (A.free ts) addrs;
+          let addrs = Array.init 200 (fun _ -> A.malloc tob 8) in
+          Array.iter (A.free tob) addrs;
           probe_reuse pool 2;
           s2_ok := true);
       |]
@@ -214,6 +262,33 @@ let fuzz_invariants () =
       (Sim.run s
          (Array.init 4 (fun _ ->
               probe_body ~malloc:(A.malloc t) ~free:(A.free t) 2)));
+    (try A.check_invariants t
+     with Failure msg -> Alcotest.failf "seed %d: %s" seed msg);
+    let m, f = A.op_counts t in
+    Alcotest.(check int) (Printf.sprintf "seed %d conservation" seed) m f
+  done
+
+let fuzz_ob_invariants () =
+  (* The owner-biased mode under many schedules: the full checker
+     (including the private/public list walks and owned-slot
+     cross-references) plus conservation once the surviving mailbox
+     slices are drained. *)
+  for seed = 1 to 15 do
+    let s = sim ~cpus:threads ~seed ~max_cycles:50_000_000_000 () in
+    let t = A.create s ob_cfg in
+    let mailbox = Array.make threads [] in
+    ignore
+      (Sim.run s (Array.init threads (fun i _ -> probe_ob t mailbox 2 i)));
+    ignore
+      (Sim.run s
+         [|
+           (fun _ ->
+             Array.iteri
+               (fun i mail ->
+                 mailbox.(i) <- [];
+                 List.iter (A.free t) mail)
+               mailbox);
+         |]);
     (try A.check_invariants t
      with Failure msg -> Alcotest.failf "seed %d: %s" seed msg);
     let m, f = A.op_counts t in
@@ -264,6 +339,7 @@ let cases =
   @ List.map (fun l -> case ("kill at " ^ l) (kill_at l)) L.all
   @ [
       case "schedule fuzz, probe config (x20 seeds)" fuzz_invariants;
+      case "schedule fuzz, owner-biased config (x15 seeds)" fuzz_ob_invariants;
       case "schedule fuzz, default config (x10 seeds)" fuzz_default_config;
       case "real-runtime stress with label noise" real_runtime_stress;
     ]
